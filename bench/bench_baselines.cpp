@@ -1,0 +1,59 @@
+// E8 (Table 4): cross-model comparison — the paper's Related Work table,
+// measured.
+//
+// Four model corners: {single, multi} channel x {CD, no CD}, plus the
+// clairvoyant ALOHA reference. Solved-round distributions on common
+// instances. Means are dominated by lucky early wins; the ordering the
+// theory predicts shows in the p99/max columns.
+#include <iostream>
+
+#include "harness/registry.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace crmc;
+
+  constexpr int kTrials = 150;
+  std::cout << "# E8 / Table 4 — algorithms across model assumptions ("
+            << kTrials << " trials)\n";
+
+  for (const std::int32_t num_active : {2, 512, 8192}) {
+    const std::int64_t n = std::int64_t{1} << 16;
+    const std::int32_t c = 256;
+    std::cout << "\n## |A| = " << num_active << ", n = 2^16, C = " << c
+              << "\n\n";
+    harness::Table table({"algorithm", "model", "mean", "p95", "p99", "max"});
+    for (const harness::AlgorithmInfo& info : harness::Algorithms()) {
+      if (info.requires_two_active && num_active != 2) continue;
+      harness::TrialSpec spec;
+      spec.population = n;
+      spec.num_active = num_active;
+      spec.channels = c;
+      spec.max_rounds = 4'000'000;
+      const harness::TrialSetResult r =
+          harness::RunTrials(spec, info.make(), kTrials);
+      const char* model =
+          info.name == "two_active" || info.name == "general"
+              ? "multi + CD (this paper)"
+          : info.name == "knockout_cd" || info.name == "binary_descent_cd"
+              ? "single + CD"
+          : info.name == "willard_cd"  ? "single + CD (expected-time)"
+          : info.name == "decay_no_cd" ? "single, no CD"
+          : info.name == "daum_multichannel_no_cd" ? "multi, no CD"
+          : info.name == "expected_o1_multichannel"
+              ? "multi, no CD (expected-time)"
+              : "oracle";
+      table.Row().Cells(info.name, model, r.summary.mean, r.summary.p95,
+                        r.summary.p99, r.summary.max);
+    }
+    table.Print(std::cout);
+  }
+  std::cout
+      << "\ntail ordering predicted by theory (multi+CD <= single+CD < "
+         "no-CD variants) holds asymptotically;\nat n = 2^16 the general "
+         "algorithm's per-phase constants still mask part of its advantage "
+         "over single+CD\n(log n/log C + loglog n loglog log n ~ 10 vs "
+         "log n = 16 — see EXPERIMENTS.md for the crossover discussion).\n";
+  return 0;
+}

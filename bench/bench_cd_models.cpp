@@ -1,0 +1,85 @@
+// E15: collision-detection model ablation.
+//
+// The paper's lower-bound landscape (Section 2) is organized by CD
+// capability and channel count. This bench measures the same algorithm
+// families under each CD model our MAC supports:
+//   - strong CD: the paper's algorithms run and hit their bounds;
+//   - receiver-only CD: the paper's algorithms *detect* the broken
+//     assumption and abort (counted below);
+//   - no CD: only the no-CD algorithms function; their costs show the
+//     price of losing the collision detector.
+#include <iostream>
+
+#include "core/two_active.h"
+#include "harness/registry.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+
+int main() {
+  using namespace crmc;
+
+  constexpr int kTrials = 200;
+  std::cout << "# E15 — what each CD model supports (n = 2^16, C = 64, "
+            << kTrials << " trials)\n\n";
+
+  harness::Table table({"algorithm", "cd model", "status", "mean rounds",
+                        "p95"});
+  struct Case {
+    const char* algo;
+    std::int32_t num_active;
+  };
+  const Case cases[] = {{"two_active", 2},
+                        {"general", 512},
+                        {"knockout_cd", 512},
+                        {"decay_no_cd", 512},
+                        {"daum_multichannel_no_cd", 512}};
+  for (const Case& c : cases) {
+    for (const mac::CdModel model :
+         {mac::CdModel::kStrong, mac::CdModel::kReceiverOnly,
+          mac::CdModel::kNone}) {
+      const auto factory = harness::AlgorithmByName(c.algo).make();
+      int solved = 0;
+      int aborted = 0;
+      std::vector<std::int64_t> rounds;
+      for (int t = 0; t < kTrials; ++t) {
+        sim::EngineConfig config;
+        config.num_active = c.num_active;
+        config.population = 1 << 16;
+        config.channels = 64;
+        config.seed = static_cast<std::uint64_t>(t) + 1;
+        config.max_rounds = 300000;
+        config.cd_model = model;
+        try {
+          const sim::RunResult r = sim::Engine::Run(config, factory);
+          if (r.solved) {
+            ++solved;
+            rounds.push_back(r.solved_round + 1);
+          }
+        } catch (const support::ProtocolAssumptionViolation&) {
+          ++aborted;
+        }
+      }
+      std::string status;
+      if (aborted == kTrials) {
+        status = "assumption violated";
+      } else if (solved == kTrials) {
+        status = "solves";
+      } else {
+        status = "solves " + std::to_string(solved) + "/" +
+                 std::to_string(kTrials);
+      }
+      const harness::Summary s = harness::Summarize(rounds);
+      table.Row().Cells(c.algo, mac::ToString(model), status,
+                        rounds.empty() ? 0.0 : s.mean,
+                        rounds.empty() ? 0.0 : s.p95);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nthe paper's algorithms are exactly the strong-CD rows; "
+               "stripping transmitter-side detection breaks them (by "
+               "design, loudly), while the no-CD baselines are oblivious "
+               "to the model.\n";
+  return 0;
+}

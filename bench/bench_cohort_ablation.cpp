@@ -1,0 +1,70 @@
+// E12 (Figure 6, ablation): what coalescing cohorts buy.
+//
+// LeafElection with the (p+1)-ary SplitSearch vs the same algorithm forced
+// to binary-search every phase. The paper's speedup turns
+// O(log h * log x) into O(log h * log log x): as the occupancy x grows the
+// gap widens. Deterministic given the leaf set, so a handful of random
+// sets per point suffices.
+#include <iostream>
+#include <vector>
+
+#include "core/leaf_election.h"
+#include "harness/stats.h"
+#include "harness/table.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace {
+
+double MeanRounds(const std::vector<std::vector<std::int32_t>>& leaf_sets,
+                  std::int32_t num_leaves, bool force_binary) {
+  using namespace crmc;
+  double total = 0;
+  for (std::size_t i = 0; i < leaf_sets.size(); ++i) {
+    sim::EngineConfig config;
+    config.num_active = static_cast<std::int32_t>(leaf_sets[i].size());
+    config.population = num_leaves;
+    config.channels = 2 * num_leaves - 1;
+    config.seed = i + 1;
+    config.stop_when_solved = false;
+    core::LeafElectionParams params;
+    params.force_binary_search = force_binary;
+    const sim::RunResult r = sim::Engine::Run(
+        config,
+        core::MakeLeafElectionOnly(leaf_sets[i], num_leaves, params));
+    total += static_cast<double>(r.rounds_executed);
+  }
+  return total / static_cast<double>(leaf_sets.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace crmc;
+
+  constexpr std::int32_t kLeaves = 4096;  // h = 12
+  constexpr int kSets = 12;
+
+  std::cout << "# E12 / Figure 6 — coalescing cohorts vs per-phase binary "
+               "search (L = " << kLeaves << ", mean over " << kSets
+            << " random leaf sets)\n\n";
+
+  harness::Table table({"occupancy x", "cohort (p+1)-ary rounds",
+                        "binary-ablation rounds", "speedup"});
+  support::RandomSource rng(0xab1a7e);
+  for (const std::int32_t x : {8, 32, 128, 512, 2048}) {
+    std::vector<std::vector<std::int32_t>> sets;
+    for (int s = 0; s < kSets; ++s) {
+      const auto sample = support::SampleWithoutReplacement(kLeaves, x, rng);
+      sets.emplace_back(sample.begin(), sample.end());
+    }
+    const double cohort = MeanRounds(sets, kLeaves, false);
+    const double binary = MeanRounds(sets, kLeaves, true);
+    table.Row().Cells(x, cohort, binary, binary / cohort);
+  }
+  table.Print(std::cout);
+  std::cout << "\nthe ablation grows like log x * log h while the real "
+               "algorithm's search cost shrinks per phase — the wedge is "
+               "the paper's Section 5.3 contribution.\n";
+  return 0;
+}

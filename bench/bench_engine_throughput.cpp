@@ -1,0 +1,75 @@
+// E14: simulator cost model (google-benchmark).
+//
+// Wall-clock throughput of the engine itself: node-rounds per second for a
+// representative protocol at several scales, plus the raw MAC resolver.
+// This is the denominator behind every other experiment's runtime.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/general.h"
+#include "core/reduce.h"
+#include "mac/resolver.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace crmc;
+
+void BM_EngineKnockout(benchmark::State& state) {
+  const auto num_active = static_cast<std::int32_t>(state.range(0));
+  std::int64_t node_rounds = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::EngineConfig config;
+    config.num_active = num_active;
+    config.channels = 1;
+    config.seed = seed++;
+    config.stop_when_solved = false;
+    const sim::RunResult r = sim::Engine::Run(config, core::MakeKnockoutCd());
+    benchmark::DoNotOptimize(r.rounds_executed);
+    node_rounds += r.total_transmissions + r.rounds_executed * num_active;
+  }
+  state.SetItemsProcessed(node_rounds);
+  state.SetLabel("items = node-rounds (approx)");
+}
+BENCHMARK(BM_EngineKnockout)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EngineGeneral(benchmark::State& state) {
+  const auto num_active = static_cast<std::int32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::EngineConfig config;
+    config.num_active = num_active;
+    config.population = 1 << 20;
+    config.channels = 256;
+    config.seed = seed++;
+    config.stop_when_solved = false;
+    const sim::RunResult r = sim::Engine::Run(config, core::MakeGeneral());
+    benchmark::DoNotOptimize(r.rounds_executed);
+  }
+}
+BENCHMARK(BM_EngineGeneral)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ResolverRound(benchmark::State& state) {
+  const auto participants = static_cast<std::int32_t>(state.range(0));
+  mac::Resolver resolver(1024);
+  std::vector<mac::Action> actions(
+      static_cast<std::size_t>(participants));
+  for (std::int32_t i = 0; i < participants; ++i) {
+    actions[static_cast<std::size_t>(i)] =
+        (i % 3 == 0) ? mac::Action::Transmit(1 + i % 1024)
+                     : mac::Action::Listen(1 + i % 1024);
+  }
+  std::vector<mac::Feedback> feedback;
+  for (auto _ : state) {
+    const mac::RoundSummary s = resolver.Resolve(actions, feedback);
+    benchmark::DoNotOptimize(s.total_transmissions);
+  }
+  state.SetItemsProcessed(state.iterations() * participants);
+}
+BENCHMARK(BM_ResolverRound)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

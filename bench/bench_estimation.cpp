@@ -1,0 +1,61 @@
+// E20: active-count estimation quality and cost.
+//
+// The sibling problem of contention resolution: all active nodes agree on
+// a constant-factor estimate of |A|. Geometric (multichannel, one round
+// per probe) vs density (single channel, Willard-style). Reported:
+// distribution of the estimated exponent against lg |A|, and round cost.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/estimation.h"
+#include "harness/stats.h"
+#include "harness/table.h"
+#include "sim/engine.h"
+
+int main() {
+  using namespace crmc;
+
+  constexpr int kTrials = 200;
+  std::cout << "# E20 — estimating |A| (n = 2^16, " << kTrials
+            << " trials, 5-sample median)\n\n";
+
+  harness::Table table({"estimator", "C", "|A|", "lg|A|", "exp p25",
+                        "exp median", "exp p75", "rounds"});
+  struct Setup {
+    const char* name;
+    std::int32_t channels;
+    sim::ProtocolFactory factory;
+  };
+  const Setup setups[] = {
+      {"geometric", 64, core::MakeGeometricEstimateOnly()},
+      {"density", 1, core::MakeDensityEstimateOnly()},
+  };
+  for (const Setup& setup : setups) {
+    for (const std::int32_t a : {1, 8, 64, 512, 4096, 32768}) {
+      std::vector<std::int64_t> exponents;
+      double rounds = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        sim::EngineConfig config;
+        config.num_active = a;
+        config.population = 1 << 16;
+        config.channels = setup.channels;
+        config.seed = static_cast<std::uint64_t>(t) + 1;
+        config.stop_when_solved = false;
+        const sim::RunResult r = sim::Engine::Run(config, setup.factory);
+        exponents.push_back(r.MetricValues("estimate_log2").front());
+        rounds += static_cast<double>(r.rounds_executed);
+      }
+      table.Row().Cells(setup.name, setup.channels, a,
+                        std::log2(static_cast<double>(a)),
+                        harness::Quantile(exponents, 0.25),
+                        harness::Quantile(exponents, 0.5),
+                        harness::Quantile(exponents, 0.75),
+                        rounds / kTrials);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nmedian exponents track lg|A| within a couple of units "
+               "(constant-factor estimates) at O(loglog n)-round cost.\n";
+  return 0;
+}

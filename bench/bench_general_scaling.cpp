@@ -1,0 +1,54 @@
+// E3 (Figure 2): round complexity of the general algorithm vs n, |A|, C.
+//
+// Theorem 4: O(log n / log C + loglog n * logloglog n) w.h.p. We report
+// solved-round mean / p95 / p99 and the constant-free bound value. The
+// active-set size |A| barely matters (Reduce flattens it in O(loglog n)
+// rounds) — that insensitivity is itself part of the theorem's shape.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/general.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace crmc;
+
+  constexpr int kTrials = 120;
+  std::cout << "# E3 / Figure 2 — general algorithm rounds vs n, |A|, C ("
+            << kTrials << " trials)\n\n";
+
+  harness::Table fig({"n", "|A|", "C", "mean", "p95", "p99", "max", "bound",
+                      "p99/bound"});
+  for (const std::int64_t n :
+       {std::int64_t{1} << 10, std::int64_t{1} << 14, std::int64_t{1} << 18}) {
+    const auto lg = static_cast<std::int32_t>(std::log2((double)n));
+    const std::vector<std::int32_t> actives = {
+        lg,                                                   // ~log n
+        static_cast<std::int32_t>(std::sqrt((double)n)),      // sqrt n
+        static_cast<std::int32_t>(std::min<std::int64_t>(n, 1 << 14))};
+    for (const std::int32_t a : actives) {
+      for (const std::int32_t c : {16, 256, 2048}) {
+        harness::TrialSpec spec;
+        spec.population = n;
+        spec.num_active = a;
+        spec.channels = c;
+        const harness::TrialSetResult r =
+            harness::RunTrials(spec, core::MakeGeneral(), kTrials);
+        const double bound = baselines::GeneralBoundRounds(
+            static_cast<double>(n), static_cast<double>(c));
+        fig.Row().Cells(n, a, c, r.summary.mean, r.summary.p95,
+                        r.summary.p99, r.summary.max, bound,
+                        r.summary.p99 / bound);
+      }
+    }
+  }
+  fig.Print(std::cout);
+  std::cout << "\nshape check: rows with the same C stay flat in |A| and "
+               "grow (sub-)logarithmically in n;\nthe p99/bound column "
+               "staying O(1) is the reproduction of Theorem 4.\n";
+  return 0;
+}

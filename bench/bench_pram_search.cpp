@@ -1,0 +1,49 @@
+// E13 (Figure 7): Snir's CREW parallel search on the PRAM substrate.
+//
+// Iterations to locate a key in a sorted array of N cells with p
+// processors, against the ceil(log2(N+1)/log2(p+1)) prediction — the same
+// recurrence that governs SplitSearch once cohorts reach size p.
+#include <iostream>
+#include <vector>
+
+#include "harness/table.h"
+#include "pram/snir_search.h"
+#include "support/rng.h"
+
+int main() {
+  using namespace crmc;
+
+  std::cout << "# E13 / Figure 7 — Snir (p+1)-ary search iterations "
+               "(mean over 64 random keys)\n\n";
+
+  harness::Table table({"N", "p", "iterations (mean)", "iterations (max)",
+                        "predicted ceil(log(N+1)/log(p+1))"});
+  support::RandomSource rng(0x5171);
+  for (const std::size_t n : {std::size_t{1} << 8, std::size_t{1} << 12,
+                              std::size_t{1} << 16}) {
+    std::vector<std::int64_t> sorted(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted[i] = static_cast<std::int64_t>(3 * i);
+    }
+    for (const std::int32_t p : {1, 3, 7, 15, 63, 255}) {
+      double sum = 0;
+      std::int64_t worst = 0;
+      constexpr int kKeys = 64;
+      for (int k = 0; k < kKeys; ++k) {
+        const std::int64_t key =
+            rng.UniformInt(-3, static_cast<std::int64_t>(3 * n) + 3);
+        pram::SearchStats stats;
+        pram::ParallelLowerBound(sorted, key, p, &stats);
+        sum += static_cast<double>(stats.iterations);
+        worst = std::max(worst, stats.iterations);
+      }
+      table.Row().Cells(static_cast<std::int64_t>(n), p, sum / kKeys, worst,
+                        pram::PredictedIterations(n, p));
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nmeasured iterations track the prediction: the speedup "
+               "LeafElection inherits by simulating this search with "
+               "cohorts of size p.\n";
+  return 0;
+}

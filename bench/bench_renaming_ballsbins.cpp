@@ -1,0 +1,90 @@
+// E10 (Table 5): the balls-in-bins machinery behind IDReduction.
+//
+// Part A — Lemma 9 directly: throw b = m/beta balls into m bins; the
+// probability that no ball lands alone must be below 2^(-b/2).
+// Part B — Lemma 10 end to end: once |A| <= C/6, renaming succeeds within
+// O(log n / log C) rounds w.h.p.; we measure IDReduction's completion
+// rounds as a function of the starting |A| / C ratio.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/id_reduction.h"
+#include "harness/runner.h"
+#include "harness/stats.h"
+#include "harness/table.h"
+#include "support/rng.h"
+
+int main() {
+  using namespace crmc;
+
+  std::cout << "# E10 / Table 5 — renaming and balls-in-bins\n\n";
+  std::cout << "## Part A: Lemma 9 (no lonely ball), 200k trials per row\n\n";
+  {
+    harness::Table table({"bins m", "beta", "balls b", "P(no lonely ball)",
+                          "lemma bound 2^(-b/2)"});
+    support::RandomSource rng(0xba115);
+    // Small bin counts keep the failure probability measurable: the lemma
+    // bound decays as 2^(-b/2), so by m ~ 100 both sides vanish.
+    for (const std::int64_t m : {12, 24, 48, 96}) {
+      for (const std::int64_t beta : {3, 6, 12}) {
+        if (m / beta < 2) continue;
+        const std::int64_t b = m / beta;
+        constexpr int kTrials = 200000;
+        int no_lonely = 0;
+        std::vector<int> bins(static_cast<std::size_t>(m));
+        for (int t = 0; t < kTrials; ++t) {
+          std::fill(bins.begin(), bins.end(), 0);
+          for (std::int64_t i = 0; i < b; ++i) {
+            ++bins[static_cast<std::size_t>(rng.UniformInt(0, m - 1))];
+          }
+          bool lonely = false;
+          for (const int count : bins) {
+            if (count == 1) {
+              lonely = true;
+              break;
+            }
+          }
+          if (!lonely) ++no_lonely;
+        }
+        table.Row().Cells(
+            m, beta, b,
+            harness::FormatDouble(
+                static_cast<double>(no_lonely) / kTrials, 5),
+            harness::FormatDouble(
+                std::pow(2.0, -static_cast<double>(b) / 2.0), 5));
+      }
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\n## Part B: IDReduction completion rounds vs |A|/C "
+               "(400 trials, n = 2^16)\n\n";
+  {
+    harness::Table table({"C", "|A|", "|A| / (C/6)", "mean rounds",
+                          "p95", "max"});
+    for (const std::int32_t c : {64, 512}) {
+      for (const double load : {0.25, 1.0, 4.0, 16.0}) {
+        const auto a = static_cast<std::int32_t>(
+            std::max(1.0, load * c / 6.0));
+        harness::TrialSpec spec;
+        spec.population = std::int64_t{1} << 16;
+        spec.num_active = a;
+        spec.channels = c;
+        spec.stop_when_solved = false;
+        const harness::TrialSetResult r = harness::RunTrials(
+            spec, core::MakeIdReductionOnly(), 400, true);
+        std::vector<std::int64_t> rounds;
+        for (const auto& run : r.runs) rounds.push_back(run.rounds_executed);
+        const harness::Summary s = harness::Summarize(rounds);
+        table.Row().Cells(c, a, load, s.mean, s.p95, s.max);
+      }
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nbelow the C/6 threshold renaming lands almost instantly "
+               "(Lemma 10); above it, the interleaved knockouts first pay "
+               "the O(log n/log C) reduction of Lemma 7.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Race every registered contention-resolution algorithm on one instance.
+//
+//   ./algorithm_race [num_active] [population] [channels] [trials]
+//
+// Prints mean / p95 / max solved rounds per algorithm, making the model
+// assumptions (CD or not, channels used, oracle knowledge) explicit.
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/registry.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+int main(int argc, char** argv) {
+  using namespace crmc;
+
+  harness::TrialSpec spec;
+  spec.num_active = argc > 1 ? std::atoi(argv[1]) : 500;
+  spec.population = argc > 2 ? std::atoll(argv[2]) : 1 << 16;
+  spec.channels = argc > 3 ? std::atoi(argv[3]) : 64;
+  const int trials = argc > 4 ? std::atoi(argv[4]) : 100;
+
+  std::cout << "Algorithm race: |A| = " << spec.num_active << ", n = "
+            << spec.population << ", C = " << spec.channels << ", " << trials
+            << " trials\n\n";
+
+  harness::Table table(
+      {"algorithm", "mean", "p95", "max", "unsolved", "notes"});
+  for (const harness::AlgorithmInfo& info : harness::Algorithms()) {
+    if (info.requires_two_active && spec.num_active != 2) {
+      table.Row().Cells(info.name, "-", "-", "-", "-",
+                        "skipped: specified for |A| = 2 only");
+      continue;
+    }
+    const harness::TrialSetResult result =
+        harness::RunTrials(spec, info.make(), trials);
+    table.Row().Cells(info.name, result.summary.mean, result.summary.p95,
+                      result.summary.max,
+                      static_cast<std::int64_t>(result.unsolved),
+                      info.oracle ? "oracle: knows |A|" : info.description);
+  }
+  table.Print(std::cout);
+  std::cout << "\nRun with num_active = 2 to include the TwoActive "
+               "algorithm, e.g.:  ./algorithm_race 2 1048576 1024 500\n";
+  return 0;
+}

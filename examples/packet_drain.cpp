@@ -1,0 +1,58 @@
+// Scenario: draining a burst of packets (k-selection).
+//
+// The ALOHA lineage of this problem (Section 2 of the paper) is about
+// delivering queued packets over a shared medium. Here a burst of k
+// stations each hold one packet; the fleet repeatedly runs the paper's
+// general algorithm in fixed-length instances, delivering one packet per
+// instance on the primary channel.
+//
+//   ./packet_drain [packets] [population] [channels] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/k_selection.h"
+#include "sim/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace crmc;
+
+  sim::EngineConfig config;
+  config.num_active = argc > 1 ? std::atoi(argv[1]) : 16;
+  config.population = argc > 2 ? std::atoll(argv[2]) : 1 << 16;
+  config.channels = argc > 3 ? std::atoi(argv[3]) : 64;
+  config.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 5;
+  config.stop_when_solved = false;
+  config.max_rounds = 8'000'000;
+
+  const std::int64_t instance_rounds = core::DefaultInstanceRounds(
+      config.population, config.channels);
+  std::cout << "Draining " << config.num_active << " packets (n = "
+            << config.population << ", C = " << config.channels
+            << "); instance budget " << instance_rounds << " rounds\n\n";
+
+  const sim::RunResult r =
+      sim::Engine::Run(config, core::MakeKSelection());
+
+  if (!r.all_terminated) {
+    std::cout << "queue did not drain — unexpected\n";
+    return 1;
+  }
+  std::cout << "all " << config.num_active << " packets delivered in "
+            << r.rounds_executed << " rounds ("
+            << r.rounds_executed / config.num_active
+            << " rounds/packet incl. padding)\n";
+  std::cout << "the engine observed " << r.all_solved_rounds.size()
+            << " lone primary-channel transmissions (>= 1 per packet; "
+               "extras are elections solving mid-instance)\n\n";
+
+  std::cout << "delivery schedule (node -> instance):\n";
+  for (const auto& report : r.node_reports) {
+    for (const auto& [key, value] : report.metrics) {
+      if (key == "delivered_instance") {
+        std::cout << "  node " << report.index << " -> instance " << value
+                  << "\n";
+      }
+    }
+  }
+  return 0;
+}

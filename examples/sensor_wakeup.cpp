@@ -1,0 +1,68 @@
+// Scenario: wireless sensor field with non-simultaneous wakeup.
+//
+// Sensors scattered in the field boot at slightly different times after a
+// power event (Section 3's harder model). Each runs the wakeup transform
+// around the paper's general algorithm: two listening rounds on the primary
+// channel, then — if nothing is heard — start the protocol with beacons
+// interleaved on the primary channel so later wakers stand down.
+//
+//   ./sensor_wakeup [sensors] [max_delay] [channels] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/general.h"
+#include "core/wakeup_transform.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace crmc;
+
+  const std::int32_t sensors = argc > 1 ? std::atoi(argv[1]) : 200;
+  const std::int64_t max_delay = argc > 2 ? std::atoll(argv[2]) : 8;
+  const std::int32_t channels = argc > 3 ? std::atoi(argv[3]) : 64;
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
+
+  support::RandomSource delay_rng(seed ^ 0xd31a7);
+  std::vector<std::int64_t> delays(static_cast<std::size_t>(sensors));
+  std::int64_t first_wake = max_delay;
+  for (auto& d : delays) {
+    d = delay_rng.UniformInt(0, max_delay);
+    if (d < first_wake) first_wake = d;
+  }
+
+  std::cout << sensors << " sensors waking within " << max_delay
+            << " rounds of each other, " << channels << " channels\n\n";
+
+  sim::EngineConfig config;
+  config.num_active = sensors;
+  config.population = 1 << 16;
+  config.channels = channels;
+  config.seed = seed;
+  const sim::RunResult result = sim::Engine::Run(
+      config, core::MakeWakeupTransform(delays, core::MakeGeneral()));
+
+  if (!result.solved) {
+    std::cout << "not solved — unexpected\n";
+    return 1;
+  }
+  std::cout << "coordinator elected in round " << result.solved_round + 1
+            << " (" << result.solved_round + 1 - first_wake
+            << " rounds after the first sensor woke)\n";
+
+  // Compare with the simultaneous-start baseline to show the transform's
+  // factor-2-plus-constant overhead.
+  sim::EngineConfig plain = config;
+  const sim::RunResult baseline = sim::Engine::Run(plain, core::MakeGeneral());
+  std::cout << "same fleet with simultaneous start: round "
+            << baseline.solved_round + 1 << "\n"
+            << "transform overhead factor: "
+            << (baseline.solved_round >= 0
+                    ? static_cast<double>(result.solved_round + 1) /
+                          static_cast<double>(baseline.solved_round + 1)
+                    : 0.0)
+            << " (Section 3 promises <= ~2x plus a constant)\n";
+  return 0;
+}

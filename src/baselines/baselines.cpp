@@ -1,0 +1,240 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mac/channel.h"
+#include "support/assert.h"
+#include "support/bits.h"
+
+namespace crmc::baselines {
+
+using mac::Feedback;
+using mac::kPrimaryChannel;
+using sim::NodeContext;
+using sim::Task;
+
+// ---------------------------------------------------------------------------
+// Single channel + CD: binary descent over the ID space [1, n].
+// Invariant: the interval [lo, hi] contains the smallest active ID, and
+// every active node knows the interval (all information flows through the
+// shared channel, which everyone observes). Each round the nodes whose IDs
+// lie in the left half transmit:
+//   collision -> at least two in the left half: descend left;
+//   message   -> exactly one in the left half: it transmitted alone on the
+//                primary channel, so the problem is solved;
+//   silence   -> left half empty: descend right.
+// The interval halves every round, so at most ceil(lg n) + 1 rounds.
+Task<void> BinaryDescentCdProtocol(NodeContext& ctx) {
+  std::int64_t lo = 1;
+  std::int64_t hi = ctx.population();
+  const std::int64_t my_id = ctx.unique_id();
+  for (;;) {
+    const std::int64_t mid = lo + (hi - lo) / 2;  // left half = [lo, mid]
+    const bool in_left = my_id >= lo && my_id <= mid;
+    const Feedback fb = in_left ? co_await ctx.Transmit(kPrimaryChannel)
+                                : co_await ctx.Listen(kPrimaryChannel);
+    if (fb.MessageHeard()) co_return;  // lone transmission: solved
+    if (fb.Collision()) {
+      hi = mid;  // >= 2 active IDs in the left half
+    } else {
+      lo = mid + 1;  // left half empty
+    }
+    CRMC_CHECK_MSG(lo <= hi, "descent lost the smallest active ID");
+  }
+}
+
+sim::ProtocolFactory MakeBinaryDescentCd() {
+  return [](NodeContext& ctx) { return BinaryDescentCdProtocol(ctx); };
+}
+
+// ---------------------------------------------------------------------------
+// Single channel, no CD: decay sweeps.
+Task<void> DecayNoCdProtocol(NodeContext& ctx) {
+  const int max_exponent = std::max(
+      1, support::CeilLog2(static_cast<std::uint64_t>(ctx.population())));
+  for (;;) {
+    for (int d = 1; d <= max_exponent; ++d) {
+      const double p = std::ldexp(1.0, -d);  // 2^-d
+      if (ctx.rng().Bernoulli(p)) {
+        (void)co_await ctx.Transmit(kPrimaryChannel);
+        // No CD: a transmitter learns nothing actionable; keep sweeping.
+      } else {
+        (void)co_await ctx.Listen(kPrimaryChannel);
+        // No CD: collision is indistinguishable from silence; a clean
+        // message would mean the problem is solved, but the protocol has
+        // no termination obligation — the engine detects the solution.
+      }
+    }
+  }
+}
+
+sim::ProtocolFactory MakeDecayNoCd() {
+  return [](NodeContext& ctx) { return DecayNoCdProtocol(ctx); };
+}
+
+// ---------------------------------------------------------------------------
+// Multiple channels, no CD: decay on the primary channel interleaved with
+// elimination lotteries on channels 2..C.
+Task<void> DaumStyleProtocol(NodeContext& ctx) {
+  const int max_exponent = std::max(
+      1, support::CeilLog2(static_cast<std::uint64_t>(ctx.population())));
+  const std::int32_t side_channels = ctx.channels() - 1;
+  if (side_channels <= 0) {
+    // Degenerates to plain decay with one channel.
+    co_await DecayNoCdProtocol(ctx);
+    co_return;
+  }
+  for (;;) {
+    for (int d = 1; d <= max_exponent; ++d) {
+      // Odd slot: decay attempt on the primary channel.
+      const double p = std::ldexp(1.0, -d);
+      if (ctx.rng().Bernoulli(p)) {
+        (void)co_await ctx.Transmit(kPrimaryChannel);
+      } else {
+        (void)co_await ctx.Listen(kPrimaryChannel);
+      }
+      // Even slot: elimination lottery. Half the nodes shout at the
+      // current density on a random side channel; the other half listen on
+      // a random side channel and drop out if they hear a *clean* message
+      // (the only feedback a no-CD receiver can act on).
+      const auto side = static_cast<mac::ChannelId>(
+          2 + ctx.rng().UniformInt(0, side_channels - 1));
+      if (ctx.rng().Bernoulli(0.5)) {
+        if (ctx.rng().Bernoulli(p)) {
+          (void)co_await ctx.Transmit(side);
+        } else {
+          (void)co_await ctx.Sleep();
+        }
+      } else {
+        const Feedback fb = co_await ctx.Listen(side);
+        if (fb.MessageHeard()) co_return;  // knocked out by a lone shouter
+      }
+    }
+  }
+}
+
+sim::ProtocolFactory MakeDaumStyle() {
+  return [](NodeContext& ctx) { return DaumStyleProtocol(ctx); };
+}
+
+// ---------------------------------------------------------------------------
+// Willard-style expected-O(log log n) density search (single channel, CD).
+Task<void> WillardCdProtocol(NodeContext& ctx) {
+  const int max_exponent = std::max(
+      1, support::CeilLog2(static_cast<std::uint64_t>(ctx.population())));
+  for (;;) {
+    int lo = 0;
+    int hi = max_exponent;
+    while (lo <= hi) {
+      const int d = (lo + hi) / 2;
+      const double p = std::ldexp(1.0, -d);
+      Feedback fb;
+      if (ctx.rng().Bernoulli(p)) {
+        fb = co_await ctx.Transmit(kPrimaryChannel);
+      } else {
+        fb = co_await ctx.Listen(kPrimaryChannel);
+      }
+      if (fb.MessageHeard()) co_return;     // someone was alone: solved
+      if (fb.Collision()) {
+        lo = d + 1;  // too dense: thin the density
+      } else {
+        hi = d - 1;  // silence: too sparse
+      }
+    }
+    // Search collapsed without a lone transmission (noisy observations);
+    // restart. Each search succeeds with constant probability, so the
+    // expected number of restarts is O(1).
+  }
+}
+
+sim::ProtocolFactory MakeWillardCd() {
+  return [](NodeContext& ctx) { return WillardCdProtocol(ctx); };
+}
+
+// ---------------------------------------------------------------------------
+// Expected-O(1) multichannel lottery with echo confirmation (no CD).
+Task<void> ExpectedO1MultichannelProtocol(NodeContext& ctx) {
+  const std::int32_t levels = std::max<std::int32_t>(
+      1, std::min<std::int32_t>(
+             ctx.channels(),
+             support::CeilLog2(static_cast<std::uint64_t>(
+                 std::max<std::int64_t>(ctx.population(), 2))) +
+                 1));
+  for (;;) {
+    // Geometric channel choice: P(g = i) = 2^-i, leftovers on the top.
+    std::int32_t g = 1;
+    while (g < levels && ctx.rng().Bernoulli(0.5)) ++g;
+    const auto lottery = static_cast<mac::ChannelId>(g);
+    const std::uint64_t nonce = ctx.rng().NextU64();
+
+    if (ctx.rng().Bernoulli(0.5)) {
+      // Shouter: if alone on the channel, the echo proves it.
+      (void)co_await ctx.Transmit(lottery, mac::Message{nonce});
+      const Feedback echo = co_await ctx.Listen(lottery);
+      if (echo.MessageHeard() && echo.message.payload == nonce) {
+        (void)co_await ctx.Transmit(kPrimaryChannel, mac::Message{nonce});
+        co_return;  // claimed the primary channel (collides if another
+                    // level also confirmed; then nobody was solved and the
+                    // claimants simply exit — remaining nodes continue)
+      }
+      (void)co_await ctx.Sleep();
+    } else {
+      // Listener: a clean message means exactly one shouter; echo it.
+      const Feedback heard = co_await ctx.Listen(lottery);
+      if (heard.MessageHeard() && ctx.rng().Bernoulli(0.5)) {
+        (void)co_await ctx.Transmit(lottery, heard.message);
+      } else {
+        (void)co_await ctx.Sleep();
+      }
+      const Feedback claim = co_await ctx.Listen(kPrimaryChannel);
+      if (claim.MessageHeard()) co_return;  // a confirmed winner claimed
+    }
+  }
+}
+
+sim::ProtocolFactory MakeExpectedO1Multichannel() {
+  return [](NodeContext& ctx) {
+    return ExpectedO1MultichannelProtocol(ctx);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Oracle ALOHA.
+Task<void> AlohaOracleProtocol(NodeContext& ctx) {
+  const double p = 1.0 / static_cast<double>(ctx.num_active_oracle());
+  for (;;) {
+    if (ctx.rng().Bernoulli(p)) {
+      const Feedback fb = co_await ctx.Transmit(kPrimaryChannel);
+      if (fb.MessageHeard()) co_return;  // alone: solved (oracle uses CD)
+    } else {
+      const Feedback fb = co_await ctx.Listen(kPrimaryChannel);
+      if (fb.MessageHeard()) co_return;
+    }
+  }
+}
+
+sim::ProtocolFactory MakeAlohaOracle() {
+  return [](NodeContext& ctx) { return AlohaOracleProtocol(ctx); };
+}
+
+// ---------------------------------------------------------------------------
+// Analytic curves.
+namespace {
+double SafeLog2(double x) { return std::log2(std::max(x, 2.0)); }
+}  // namespace
+
+double LowerBoundRounds(double n, double channels) {
+  return SafeLog2(n) / SafeLog2(channels) + SafeLog2(SafeLog2(n));
+}
+
+double TwoActiveBoundRounds(double n, double channels) {
+  return LowerBoundRounds(n, channels);
+}
+
+double GeneralBoundRounds(double n, double channels) {
+  const double lglg = SafeLog2(SafeLog2(n));
+  return SafeLog2(n) / SafeLog2(channels) + lglg * SafeLog2(lglg);
+}
+
+}  // namespace crmc::baselines

@@ -1,0 +1,92 @@
+// Baseline contention-resolution algorithms from the literature the paper
+// compares against (Section 2, Related Work), plus the analytic lower-bound
+// curve. These populate the cross-model comparison experiments.
+//
+// Model discipline: the simulator always reports full strong-CD feedback,
+// so "no-CD" baselines enforce their weaker model on themselves — receivers
+// may act only on a cleanly received message (collision and silence are
+// indistinguishable "noise"), and transmitters learn nothing from their own
+// rounds.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+
+namespace crmc::baselines {
+
+// --- Single channel, collision detection, probability 1 -----------------
+// The classic O(log n) descent (Related Work: "active nodes use collisions
+// to guide a descent through a binary search tree over the n possible ids
+// to identify the smallest id of an active node"). Requires the unique IDs
+// from [n] that NodeContext provides. Deterministic given the ID
+// assignment; optimal for a single channel w.h.p. per [Newport 2014].
+sim::Task<void> BinaryDescentCdProtocol(sim::NodeContext& ctx);
+sim::ProtocolFactory MakeBinaryDescentCd();
+
+// --- Single channel, no collision detection ------------------------------
+// Bar-Yehuda-style decay: sweep transmission probabilities 2^-1 .. 2^-lg n
+// forever. Solves (a lone transmission happens) in O(log^2 n) rounds
+// w.h.p. — the single-channel no-CD optimum [Jurdzinski-Stachowiak 2002,
+// Farach-Colton et al. 2006, Newport 2014]. Nodes never terminate on their
+// own; run with stop_when_solved.
+sim::Task<void> DecayNoCdProtocol(sim::NodeContext& ctx);
+sim::ProtocolFactory MakeDecayNoCd();
+
+// --- Multiple channels, no collision detection ---------------------------
+// A Daum-et-al.-2012-flavoured algorithm (our construction, see DESIGN.md):
+// odd rounds run decay on the primary channel; even rounds run elimination
+// lotteries spread across channels 2..C, where hearing a clean message
+// knocks the listener out. Exhibits the O(log^2 n / C + log n) shape of
+// the multi-channel no-CD bound.
+sim::Task<void> DaumStyleProtocol(sim::NodeContext& ctx);
+sim::ProtocolFactory MakeDaumStyle();
+
+// --- Expected-time algorithms ---------------------------------------------
+// Willard's log-logarithmic selection-resolution strategy [Willard, SIAM
+// J. Comput. 1986] — single channel, strong CD: binary-search the density
+// exponent d in [0, lg n], transmitting with probability 2^-d; collision
+// means too dense (raise d), silence too sparse (lower d), a message ends
+// the run. O(log log n) *expected* rounds; the w.h.p. time is worse than
+// the knockout's — the expected/w.h.p. trade-off the paper's conclusion
+// discusses.
+sim::Task<void> WillardCdProtocol(sim::NodeContext& ctx);
+sim::ProtocolFactory MakeWillardCd();
+
+// The conclusion's remark that without collision detection, "the best
+// expected time solutions ... reach O(1) expected complexity with as few
+// as log n channels": a geometric channel lottery with an echo-confirm
+// handshake. Each 3-round epoch: (1) pick channel g with P(g = i) ~ 2^-i
+// and shout a random nonce with probability 1/2 (others listen on a
+// geometric channel); (2) listeners that heard a clean nonce echo it back
+// with probability 1/2; (3) a shouter that hears its own nonce echoed was
+// provably alone on its channel and claims the primary channel. With
+// ~lg |A| channels some level hosts exactly one shouter with constant
+// probability, so the expected number of epochs is O(1). Runs correctly
+// in the no-CD model (only clean messages are acted upon).
+sim::Task<void> ExpectedO1MultichannelProtocol(sim::NodeContext& ctx);
+sim::ProtocolFactory MakeExpectedO1Multichannel();
+
+// --- Oracle reference -----------------------------------------------------
+// Slotted ALOHA that cheats by knowing |A| exactly: every round, transmit
+// on the primary channel with probability 1/|A|. Expected O(1)/e^-1 success
+// rate per round; Theta(log n) w.h.p. Useful as the "how fast could a
+// clairvoyant randomized strategy be" reference line.
+sim::Task<void> AlohaOracleProtocol(sim::NodeContext& ctx);
+sim::ProtocolFactory MakeAlohaOracle();
+
+// --- Analytic bounds -------------------------------------------------------
+// The Newport 2014 lower bound the paper matches:
+//   Omega(log n / log C + log log n)   (w.h.p., C channels, strong CD).
+// Returned without hidden constants, as a reference curve for plots.
+double LowerBoundRounds(double n, double channels);
+
+// The upper bounds proved by the paper, again constant-free:
+//   two-active:  log n / log C + log log n          (Theorem 1)
+//   general:     log n / log C + log log n * log log log n   (Theorem 4)
+double TwoActiveBoundRounds(double n, double channels);
+double GeneralBoundRounds(double n, double channels);
+
+}  // namespace crmc::baselines

@@ -1,0 +1,123 @@
+#include "baselines/symmetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace crmc::baselines {
+
+RoundStrategy RoundStrategy::UniformTransmit(std::int32_t channels) {
+  CRMC_REQUIRE(channels >= 1);
+  RoundStrategy s;
+  s.transmit.assign(static_cast<std::size_t>(channels),
+                    1.0 / static_cast<double>(channels));
+  s.listen.assign(static_cast<std::size_t>(channels), 0.0);
+  return s;
+}
+
+double BreakProbability(const RoundStrategy& s) {
+  CRMC_REQUIRE(s.transmit.size() == s.listen.size());
+  CRMC_REQUIRE(!s.transmit.empty());
+  double total = 0.0;
+  double listen_sum = 0.0;
+  double tx_sq = 0.0;
+  for (std::size_t c = 0; c < s.transmit.size(); ++c) {
+    CRMC_REQUIRE(s.transmit[c] >= -1e-12 && s.listen[c] >= -1e-12);
+    total += s.transmit[c] + s.listen[c];
+    listen_sum += s.listen[c];
+    tx_sq += s.transmit[c] * s.transmit[c];
+  }
+  CRMC_REQUIRE_MSG(std::abs(total - 1.0) < 1e-9,
+                   "strategy probabilities must sum to 1, got " << total);
+  // Unbroken outcomes: both listen (anywhere), or both transmit on the
+  // same channel. Everything else is a detectable asymmetry.
+  return 1.0 - listen_sum * listen_sum - tx_sq;
+}
+
+RoundStrategy RoundStrategy::Optimal(std::int32_t channels) {
+  CRMC_REQUIRE(channels >= 1);
+  RoundStrategy s;
+  const double unit = 1.0 / static_cast<double>(channels + 1);
+  s.transmit.assign(static_cast<std::size_t>(channels), unit);
+  // Only the total listening mass matters; park it on channel 1.
+  s.listen.assign(static_cast<std::size_t>(channels), 0.0);
+  s.listen[0] = unit;
+  return s;
+}
+
+double OptimalBreakProbability(std::int32_t channels) {
+  CRMC_REQUIRE(channels >= 1);
+  // Minimize (sum lambda)^2 + sum tau_c^2 subject to total mass 1: with
+  // lambda = L and tau uniform over C channels, L^2 + (1-L)^2/C is
+  // minimized at L = 1/(C+1), giving unbroken mass 1/(C+1).
+  return static_cast<double>(channels) / static_cast<double>(channels + 1);
+}
+
+namespace {
+
+// Project a raw non-negative weight vector onto the probability simplex.
+void Normalize(RoundStrategy& s) {
+  double total = 0.0;
+  for (std::size_t c = 0; c < s.transmit.size(); ++c) {
+    s.transmit[c] = std::max(0.0, s.transmit[c]);
+    s.listen[c] = std::max(0.0, s.listen[c]);
+    total += s.transmit[c] + s.listen[c];
+  }
+  CRMC_CHECK(total > 0.0);
+  for (std::size_t c = 0; c < s.transmit.size(); ++c) {
+    s.transmit[c] /= total;
+    s.listen[c] /= total;
+  }
+}
+
+}  // namespace
+
+double SearchBestBreakProbability(std::int32_t channels,
+                                  std::int32_t restarts, std::int32_t steps,
+                                  std::uint64_t seed) {
+  CRMC_REQUIRE(channels >= 1 && restarts >= 1 && steps >= 1);
+  support::RandomSource rng(seed);
+  double best = 0.0;
+  for (std::int32_t r = 0; r < restarts; ++r) {
+    RoundStrategy s;
+    s.transmit.resize(static_cast<std::size_t>(channels));
+    s.listen.resize(static_cast<std::size_t>(channels));
+    for (std::size_t c = 0; c < s.transmit.size(); ++c) {
+      s.transmit[c] = rng.UniformDouble();
+      s.listen[c] = rng.UniformDouble();
+    }
+    Normalize(s);
+    double current = BreakProbability(s);
+    double step_size = 0.25;
+    for (std::int32_t i = 0; i < steps; ++i) {
+      RoundStrategy candidate = s;
+      const auto idx = static_cast<std::size_t>(
+          rng.UniformInt(0, 2 * channels - 1));
+      const double delta = (rng.UniformDouble() - 0.5) * step_size;
+      if (idx < static_cast<std::size_t>(channels)) {
+        candidate.transmit[idx] += delta;
+      } else {
+        candidate.listen[idx - static_cast<std::size_t>(channels)] += delta;
+      }
+      Normalize(candidate);
+      const double value = BreakProbability(candidate);
+      if (value > current) {
+        s = candidate;
+        current = value;
+      } else {
+        step_size *= 0.995;  // cool down
+      }
+    }
+    best = std::max(best, current);
+  }
+  return best;
+}
+
+double ImpliedRoundLowerBound(double n, double p) {
+  CRMC_REQUIRE(n >= 2.0 && p > 0.0 && p < 1.0);
+  return std::ceil(std::log(n) / -std::log(1.0 - p));
+}
+
+}  // namespace crmc::baselines

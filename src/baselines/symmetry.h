@@ -1,0 +1,71 @@
+// The symmetry-breaking cap behind the lower bound.
+//
+// The paper matches the lower bound Omega(log n / log C + loglog n) of
+// [Newport, DISC 2014]. The log n / log C term has a clean one-round core
+// in the restricted two-node case: two anonymous nodes running the same
+// randomized algorithm act i.i.d. each round, choosing a channel c and an
+// action (transmit or listen). The round *detectably breaks symmetry* only
+// in these outcomes:
+//
+//   - same channel, one transmits / one listens (a clean message, and each
+//     node knows which side it was on);
+//   - different channels, at least one transmitter (a transmitter hears
+//     itself alone and can adopt its channel label — the renaming event).
+//
+// Same-channel collisions, and any outcome where both listen, leave the
+// nodes in identical or unverifiable states. Writing tau_c / lambda_c for
+// the per-channel transmit / listen probabilities, the break probability
+// is
+//
+//   P(break) = 1 - (sum_c lambda_c)^2 - sum_c tau_c^2,
+//
+// which is maximized by uniform transmission with a small listening
+// reserve: total listen mass 1/(C+1) and tau_c = 1/(C+1) per channel,
+// giving P* = C / (C+1). (All-transmit-uniform achieves only 1 - 1/C; the
+// numeric search in bench E21 originally exposed that gap.) Hence any
+// algorithm fails to break symmetry for t rounds with probability at
+// least (C+1)^-t, and w.h.p. correctness needs
+// t = Omega(log n / log(C+1)) = Omega(log n / log C) — the first term of
+// the bound. (The loglog n term needs the full adaptive argument of [14];
+// see DESIGN.md.)
+//
+// This module evaluates P(break) exactly for a given strategy and searches
+// for better strategies numerically (none beat C/(C+1) — bench E21).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace crmc::baselines {
+
+// One round of a (memoryless, anonymous) two-node strategy: per channel,
+// the probability of transmitting there and of listening there. Sums must
+// total 1 (+-1e-9).
+struct RoundStrategy {
+  std::vector<double> transmit;  // tau_c, c = 0..C-1
+  std::vector<double> listen;    // lambda_c
+
+  static RoundStrategy UniformTransmit(std::int32_t channels);
+  // The optimal strategy: tau_c = 1/(C+1), total listen mass 1/(C+1).
+  static RoundStrategy Optimal(std::int32_t channels);
+};
+
+// Exact probability that one round of `s` detectably breaks symmetry
+// between two i.i.d. nodes (see file comment for the outcome calculus).
+double BreakProbability(const RoundStrategy& s);
+
+// The analytic optimum C / (C + 1).
+double OptimalBreakProbability(std::int32_t channels);
+
+// Hill-climbing search over strategies starting from random points;
+// returns the best break probability found (should converge to the
+// analytic optimum from below). Deterministic in `seed`.
+double SearchBestBreakProbability(std::int32_t channels,
+                                  std::int32_t restarts, std::int32_t steps,
+                                  std::uint64_t seed = 0x10e7);
+
+// Rounds needed to break symmetry with probability >= 1 - 1/n when every
+// round succeeds with probability at most p: ceil(log(n) / -log(1 - p)).
+double ImpliedRoundLowerBound(double n, double p);
+
+}  // namespace crmc::baselines

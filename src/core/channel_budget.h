@@ -1,0 +1,35 @@
+// Normalization of the raw channel count C into the power-of-two budget the
+// algorithms actually use.
+//
+// Section 4: "we assume C is a power of 2 (the strategies are easily
+// modified to handle other values). We also assume C <= n" — for C > n the
+// algorithm runs on the first n channels and no optimality is lost (the
+// lower bound is Omega(log log n) there). We round down to a power of two
+// and cap at a small multiple of the population.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/bits.h"
+
+namespace crmc::core {
+
+// The number of channels TwoActive / the general algorithm's tree machinery
+// will use: the largest power of two that is <= min(C, cap), where the cap
+// is 2 * population rounded up to a power of two (so C <= n keeps all of
+// its power-of-two budget). Always >= 1.
+inline std::int32_t EffectiveChannels(std::int32_t channels,
+                                      std::int64_t population) {
+  const std::int64_t cap =
+      2 * static_cast<std::int64_t>(
+              support::CeilPow2(static_cast<std::uint64_t>(
+                  std::max<std::int64_t>(population, 2))));
+  const std::int64_t usable =
+      std::min<std::int64_t>(static_cast<std::int64_t>(channels), cap);
+  return static_cast<std::int32_t>(
+      support::FloorPow2(static_cast<std::uint64_t>(std::max<std::int64_t>(
+          usable, 1))));
+}
+
+}  // namespace crmc::core

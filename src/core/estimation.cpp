@@ -1,0 +1,133 @@
+#include "core/estimation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mac/channel.h"
+#include "support/assert.h"
+#include "support/bits.h"
+
+namespace crmc::core {
+
+using mac::Feedback;
+using mac::kPrimaryChannel;
+using sim::NodeContext;
+using sim::Task;
+
+namespace {
+
+std::int32_t MaxExponent(const NodeContext& ctx) {
+  return std::max<std::int32_t>(
+      1, support::CeilLog2(static_cast<std::uint64_t>(
+             std::max<std::int64_t>(ctx.population(), 2))));
+}
+
+// Globally-agreed median: every node computed the same per-sample values
+// (all verdicts were observed by everyone), so sorting locally agrees.
+std::int32_t Median(std::vector<std::int32_t> values) {
+  CRMC_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+
+Task<std::int32_t> RunGeometricEstimate(NodeContext& ctx,
+                                        EstimationParams params) {
+  CRMC_REQUIRE(params.samples >= 1);
+  const std::int32_t levels = std::max<std::int32_t>(
+      2, std::min<std::int32_t>(ctx.channels(), MaxExponent(ctx) + 1));
+
+  std::vector<std::int32_t> estimates;
+  estimates.reserve(static_cast<std::size_t>(params.samples));
+  for (std::int32_t sample = 0; sample < params.samples; ++sample) {
+    // Sample this node's geometric level once per sample; the loud-level
+    // set is then fixed for the whole binary search.
+    std::int32_t my_level = 1;
+    while (my_level < levels && ctx.rng().Bernoulli(0.5)) ++my_level;
+
+    // Binary search for the top of the loud prefix. Probing level m costs
+    // one round: nodes with my_level == m transmit on channel m, everyone
+    // else listens on channel m, so the verdict (silent or not) is common
+    // knowledge immediately.
+    std::int32_t lo = 0;  // invariant-ish: levels <= lo believed loud
+    std::int32_t hi = levels;
+    while (lo < hi) {
+      const std::int32_t mid = (lo + hi + 1) / 2;
+      Feedback fb;
+      if (my_level == mid) {
+        fb = co_await ctx.Transmit(static_cast<mac::ChannelId>(mid));
+      } else {
+        fb = co_await ctx.Listen(static_cast<mac::ChannelId>(mid));
+      }
+      if (fb.Silence()) {
+        hi = mid - 1;  // quiet: the occupied levels end below mid
+      } else {
+        lo = mid;  // loud at mid: occupied at least this high
+      }
+    }
+    estimates.push_back(lo);
+  }
+  co_return Median(std::move(estimates));
+}
+
+Task<std::int32_t> RunDensityEstimate(NodeContext& ctx,
+                                      EstimationParams params) {
+  CRMC_REQUIRE(params.samples >= 1);
+  const std::int32_t max_exponent = MaxExponent(ctx);
+
+  std::vector<std::int32_t> estimates;
+  estimates.reserve(static_cast<std::size_t>(params.samples));
+  for (std::int32_t sample = 0; sample < params.samples; ++sample) {
+    std::int32_t lo = 0;
+    std::int32_t hi = max_exponent;
+    std::int32_t estimate = 0;
+    while (lo <= hi) {
+      const std::int32_t d = (lo + hi) / 2;
+      const double p = std::ldexp(1.0, -d);
+      Feedback fb;
+      if (ctx.rng().Bernoulli(p)) {
+        fb = co_await ctx.Transmit(kPrimaryChannel);
+      } else {
+        fb = co_await ctx.Listen(kPrimaryChannel);
+      }
+      if (fb.Collision()) {
+        lo = d + 1;  // too dense: |A| * 2^-d >> 1
+        estimate = d + 1;
+      } else if (fb.MessageHeard()) {
+        estimate = d;  // a lone transmission: density ~ 1, d ~ lg |A|
+        break;
+      } else {
+        hi = d - 1;  // silence: too sparse
+        estimate = d;
+      }
+    }
+    estimates.push_back(estimate);
+  }
+  co_return Median(std::move(estimates));
+}
+
+namespace {
+
+Task<void> GeometricOnly(NodeContext& ctx, EstimationParams params) {
+  const std::int32_t e = co_await RunGeometricEstimate(ctx, params);
+  ctx.RecordMetric("estimate_log2", e);
+}
+
+Task<void> DensityOnly(NodeContext& ctx, EstimationParams params) {
+  const std::int32_t e = co_await RunDensityEstimate(ctx, params);
+  ctx.RecordMetric("estimate_log2", e);
+}
+
+}  // namespace
+
+sim::ProtocolFactory MakeGeometricEstimateOnly(EstimationParams params) {
+  return [params](NodeContext& ctx) { return GeometricOnly(ctx, params); };
+}
+
+sim::ProtocolFactory MakeDensityEstimateOnly(EstimationParams params) {
+  return [params](NodeContext& ctx) { return DensityOnly(ctx, params); };
+}
+
+}  // namespace crmc::core

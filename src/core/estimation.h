@@ -1,0 +1,54 @@
+// Estimating |A|: how many nodes are actually active.
+//
+// Contention resolution's sibling problem in the multiple-access literature
+// (and the engine behind expected-time algorithms like Willard's): produce
+// a constant-factor estimate of the number of active nodes, agreed by all
+// of them. Two estimators in the paper's model:
+//
+//   Geometric (multichannel): every node samples a geometric level
+//   g (P(g = i) ~ 2^-i) over L = min(C, lg n + 1) channels and transmits
+//   on channel g. The highest "loud" level concentrates around lg |A|.
+//   A binary search over levels — one round per probe, because everyone
+//   not assigned to the probed level listens there, so verdicts are global
+//   — pins it down in O(log L) = O(loglog n) rounds per sample. Several
+//   samples are combined by a (globally agreed) median.
+//
+//   Density (single channel): Willard-style binary search over the
+//   transmission-probability exponent d: collisions push d up, silence
+//   pulls it down, and the final d estimates lg |A|. O(loglog n) rounds
+//   per sample.
+//
+// Both return the *exponent*: the estimate of |A| is 2^exponent. Estimates
+// are constant-factor-accurate with constant probability per sample;
+// medians over `samples` sharpen the failure probability exponentially.
+// All active nodes return the same exponent in the same round.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+
+namespace crmc::core {
+
+struct EstimationParams {
+  // Independent samples combined by median (odd values avoid ties).
+  std::int32_t samples = 5;
+};
+
+// Multichannel geometric estimator; requires C >= 2 (with fewer levels the
+// estimate saturates at lg C — documented, not an error).
+sim::Task<std::int32_t> RunGeometricEstimate(sim::NodeContext& ctx,
+                                             EstimationParams params);
+
+// Single-channel density estimator.
+sim::Task<std::int32_t> RunDensityEstimate(sim::NodeContext& ctx,
+                                           EstimationParams params);
+
+// Standalone protocols for tests/benches: run the estimator and record the
+// exponent as metric "estimate_log2".
+sim::ProtocolFactory MakeGeometricEstimateOnly(EstimationParams params = {});
+sim::ProtocolFactory MakeDensityEstimateOnly(EstimationParams params = {});
+
+}  // namespace crmc::core

@@ -1,0 +1,54 @@
+#include "core/general.h"
+
+#include "core/channel_budget.h"
+#include "core/id_reduction.h"
+#include "core/leaf_election.h"
+#include "core/reduce.h"
+#include "support/assert.h"
+
+namespace crmc::core {
+
+using sim::NodeContext;
+using sim::Task;
+
+Task<bool> RunGeneralLeaderElection(NodeContext& ctx, GeneralParams params) {
+  const std::int32_t channels =
+      EffectiveChannels(ctx.channels(), ctx.population());
+  if (channels < params.min_channels) {
+    // C = O(1): the lower bound degenerates to Omega(log n); use the
+    // optimal single-channel algorithm (Section 5.2, analysis preamble).
+    const bool leader = co_await RunKnockoutCd(ctx);
+    co_return leader;
+  }
+
+  // --- Step 1: Reduce to O(log n) active nodes. -------------------------
+  const StepOutcome reduce_outcome =
+      co_await RunReduce(ctx, params.reduce);
+  ctx.MarkPhase("reduce_done");
+  if (reduce_outcome == StepOutcome::kLeader) co_return true;
+  if (reduce_outcome == StepOutcome::kInactive) co_return false;
+
+  // --- Step 2: rename into [C'/2]. ---------------------------------------
+  const IdReductionResult renamed =
+      co_await RunIdReduction(ctx, channels, params.id_reduction);
+  ctx.MarkPhase("rename_done");
+  if (renamed.outcome == StepOutcome::kLeader) co_return true;
+  if (renamed.outcome == StepOutcome::kInactive) co_return false;
+
+  // --- Step 3: elect a leader over the tree of channels. -----------------
+  const LeafElectionResult elected = co_await RunLeafElection(
+      ctx, renamed.new_id, channels / 2, params.leaf_election);
+  ctx.MarkPhase("elect_done");
+  co_return elected.leader;
+}
+
+Task<void> GeneralProtocol(NodeContext& ctx, GeneralParams params) {
+  const bool leader = co_await RunGeneralLeaderElection(ctx, params);
+  if (leader) ctx.MarkPhase("leader");
+}
+
+sim::ProtocolFactory MakeGeneral(GeneralParams params) {
+  return [params](NodeContext& ctx) { return GeneralProtocol(ctx, params); };
+}
+
+}  // namespace crmc::core

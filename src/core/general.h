@@ -1,0 +1,38 @@
+// The paper's main algorithm (Section 5): contention resolution for any
+// number of active nodes in O(log n / log C + log log n * log log log n)
+// rounds w.h.p. (Theorem 4).
+//
+// Three synchronized steps executed back to back:
+//   Step 1 — Reduce (Figure 2): knock the active count down to O(log n)
+//            in O(log log n) rounds on the primary channel alone.
+//   Step 2 — IDReduction: rename survivors with unique IDs from [C'/2]
+//            (interleaving further knockouts) in O(log n / log C) rounds.
+//   Step 3 — LeafElection: deterministic coalescing-cohorts election over
+//            the tree of channels in O(log log n * log log log n) rounds.
+//
+// For C below a constant the algorithm falls back to the classic
+// single-channel O(log n) collision-detection knockout, exactly as the
+// paper prescribes for C = O(1).
+//
+// Nodes mark phases "reduce_done", "rename_done", "elect_done" for the
+// step-breakdown experiment.
+#pragma once
+
+#include "core/params.h"
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+
+namespace crmc::core {
+
+sim::Task<void> GeneralProtocol(sim::NodeContext& ctx, GeneralParams params);
+
+// Step form: runs the same algorithm and reports whether this node ended
+// as the leader — composable into larger protocols (k-selection runs one
+// of these per instance).
+sim::Task<bool> RunGeneralLeaderElection(sim::NodeContext& ctx,
+                                         GeneralParams params);
+
+sim::ProtocolFactory MakeGeneral(GeneralParams params = {});
+
+}  // namespace crmc::core

@@ -1,0 +1,95 @@
+#include "core/id_reduction.h"
+
+#include <cmath>
+
+#include "core/channel_budget.h"
+#include "mac/channel.h"
+#include "support/assert.h"
+
+namespace crmc::core {
+
+using mac::Feedback;
+using mac::kPrimaryChannel;
+using sim::NodeContext;
+using sim::Task;
+
+Task<IdReductionResult> RunIdReduction(NodeContext& ctx,
+                                       std::int32_t effective_channels,
+                                       IdReductionParams params) {
+  CRMC_REQUIRE_MSG(effective_channels >= 4,
+                   "IDReduction needs at least 4 effective channels, got "
+                       << effective_channels);
+  const std::int32_t half = effective_channels / 2;
+  const double k = std::max(
+      2.0, std::sqrt(static_cast<double>(effective_channels)) /
+               params.knock_divisor);
+
+  for (std::int64_t pair = 0; pair < params.max_pairs; ++pair) {
+    // --- Renaming, round 1: spread over [C'/2]. -------------------------
+    const auto channel =
+        static_cast<std::int32_t>(ctx.rng().UniformInt(1, half));
+    const Feedback spread =
+        co_await ctx.Transmit(static_cast<mac::ChannelId>(channel));
+    CRMC_PROTO_CHECK(!spread.Silence());
+    const bool renamed = spread.MessageHeard();  // alone on the channel
+
+    // --- Renaming, round 2: confirm on the primary channel. -------------
+    Feedback confirm;
+    if (renamed) {
+      confirm = co_await ctx.Transmit(kPrimaryChannel);
+    } else {
+      confirm = co_await ctx.Listen(kPrimaryChannel);
+    }
+    if (renamed) {
+      co_return IdReductionResult{StepOutcome::kActive, channel};
+    }
+    if (!confirm.Silence()) {
+      // Someone renamed and we did not: leave the game.
+      co_return IdReductionResult{StepOutcome::kInactive, 0};
+    }
+
+    // --- Reduction round: knockout with probability 1/k. ----------------
+    if (ctx.rng().Bernoulli(1.0 / k)) {
+      const Feedback fb = co_await ctx.Transmit(kPrimaryChannel);
+      CRMC_PROTO_CHECK(!fb.Silence());
+      if (fb.MessageHeard()) {
+        // Alone on the primary channel: the problem is solved outright.
+        co_return IdReductionResult{StepOutcome::kLeader, 0};
+      }
+    } else {
+      const Feedback fb = co_await ctx.Listen(kPrimaryChannel);
+      if (!fb.Silence()) {
+        co_return IdReductionResult{StepOutcome::kInactive, 0};
+      }
+    }
+  }
+  CRMC_CHECK_MSG(false, "IDReduction exceeded max_pairs — probability of "
+                        "this is superpolynomially small; check parameters");
+  co_return IdReductionResult{};  // unreachable
+}
+
+namespace {
+
+Task<void> IdReductionOnlyProtocol(NodeContext& ctx,
+                                   IdReductionParams params) {
+  const std::int32_t channels =
+      EffectiveChannels(ctx.channels(), ctx.population());
+  const IdReductionResult result =
+      co_await RunIdReduction(ctx, channels, params);
+  if (result.outcome == StepOutcome::kActive) {
+    ctx.MarkPhase("idr_renamed");
+    ctx.RecordMetric("idr_id", result.new_id);
+  } else if (result.outcome == StepOutcome::kLeader) {
+    ctx.MarkPhase("idr_leader");
+  }
+}
+
+}  // namespace
+
+sim::ProtocolFactory MakeIdReductionOnly(IdReductionParams params) {
+  return [params](NodeContext& ctx) {
+    return IdReductionOnlyProtocol(ctx, params);
+  };
+}
+
+}  // namespace crmc::core

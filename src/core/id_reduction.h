@@ -1,0 +1,52 @@
+// Step #2 of the general algorithm: IDReduction (Section 5.2).
+//
+// Starting from O(log n) active nodes, alternates *renaming* phases (a pair
+// of rounds) with *reduction* phases (one knockout round) until renaming
+// succeeds. Terminates in O(log n / log C) rounds w.h.p. (Theorem 6) with
+// at most C'/2 survivors, each holding a distinct ID from [C'/2].
+//
+//   Renaming, round 1: every active node picks a channel uniformly from
+//   [C'/2] and transmits; a node alone on its channel (it hears its own
+//   message back — strong collision detection) adopts the channel label as
+//   its unique ID.
+//   Renaming, round 2: everyone converges on the primary channel; freshly
+//   renamed nodes transmit. Any non-silence tells the whole active set that
+//   renaming succeeded: renamed nodes proceed, the rest go inactive.
+//   Reduction: transmit with probability 1/k on the primary channel
+//   (k = max(2, sqrt(C)/knock_divisor)); if anyone transmitted, the
+//   listeners go inactive.
+//
+// Note: if exactly one node renames, its confirmation broadcast is a lone
+// transmission on the primary channel — contention resolution is solved on
+// the spot. Likewise a lone reduction-round transmitter has solved the
+// problem and is reported as kLeader.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.h"
+#include "core/reduce.h"
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+
+namespace crmc::core {
+
+struct IdReductionResult {
+  StepOutcome outcome = StepOutcome::kInactive;
+  // Valid iff outcome == kActive: the adopted unique ID in [1, C'/2].
+  std::int32_t new_id = 0;
+};
+
+// Runs IDReduction on `effective_channels` (a power of two >= 4; the tree
+// machinery downstream uses effective_channels/2 leaves). All nodes that
+// return kActive do so in the same round, holding distinct IDs.
+sim::Task<IdReductionResult> RunIdReduction(sim::NodeContext& ctx,
+                                            std::int32_t effective_channels,
+                                            IdReductionParams params);
+
+// IDReduction as a standalone protocol for tests/benches: runs the step and
+// records "idr_renamed" (phase mark) plus metric "idr_id" for survivors.
+sim::ProtocolFactory MakeIdReductionOnly(IdReductionParams params = {});
+
+}  // namespace crmc::core

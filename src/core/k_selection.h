@@ -1,0 +1,61 @@
+// k-selection: repeated contention resolution.
+//
+// The one-shot problem this paper studies descends from the queue-draining
+// setting of the ALOHA literature (Section 2): every active node holds a
+// packet, and the execution ends when all |A| packets have been delivered —
+// i.e. every active node has at some point transmitted alone on the primary
+// channel. This module drains the queue by running the paper's general
+// algorithm in fixed-length *instances*:
+//
+//   - every instance spans exactly `instance_rounds` rounds (a generous
+//     multiple of the Theorem 4 bound), so all nodes agree on instance
+//     boundaries without extra communication;
+//   - within an instance, the still-undelivered nodes run GeneralProtocol;
+//     whoever ends it as the leader transmits alone on the primary channel
+//     in the instance's dedicated *delivery round* (the last round), marks
+//     its packet delivered, and leaves; everyone else hears the delivery
+//     (or its absence) on the primary channel and continues.
+//
+// The delivery round makes the per-instance outcome observable by every
+// remaining node (they all listen on channel 1), which is what keeps the
+// instances synchronized even though nodes go inactive at different times
+// inside an instance. Each delivery is itself a lone primary-channel
+// transmission, so the engine's all_solved_rounds records one entry per
+// delivered packet (at least; the algorithm usually also solves mid-
+// instance).
+//
+// Cost: O(|A| * instance_rounds) rounds; with the Theorem 4 bound this is
+// O(k (log n / log C + loglog n logloglog n)) for k packets.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.h"
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+
+namespace crmc::core {
+
+struct KSelectionParams {
+  GeneralParams general{};
+  // Rounds per instance, *including* the final delivery round. 0 derives a
+  // generous default from the Theorem 4 bound for (n, C).
+  std::int64_t instance_rounds = 0;
+  // Safety valve on the number of instances (0 = 4 * |A| + 16).
+  std::int64_t max_instances = 0;
+};
+
+// Computes the default instance length for a given population and channel
+// count (exposed for tests and benches).
+std::int64_t DefaultInstanceRounds(std::int64_t population,
+                                   std::int32_t channels);
+
+// The per-node protocol: terminates once this node's packet is delivered.
+// Records metric "delivered_instance" (1-based instance index) on success.
+sim::Task<void> KSelectionProtocol(sim::NodeContext& ctx,
+                                   KSelectionParams params);
+
+sim::ProtocolFactory MakeKSelection(KSelectionParams params = {});
+
+}  // namespace crmc::core

@@ -1,0 +1,124 @@
+#include "core/leaf_election.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/split_primitives.h"
+#include "mac/channel.h"
+#include "support/assert.h"
+#include "support/bits.h"
+#include "tree/channel_tree.h"
+
+namespace crmc::core {
+
+using mac::Feedback;
+using mac::kPrimaryChannel;
+using sim::NodeContext;
+using sim::Task;
+using tree::ChannelTree;
+
+Task<LeafElectionResult> RunLeafElection(NodeContext& ctx, std::int32_t leaf,
+                                         std::int32_t num_leaves,
+                                         LeafElectionParams params) {
+  CRMC_REQUIRE(num_leaves >= 1 &&
+               support::IsPowerOfTwo(static_cast<std::uint64_t>(num_leaves)));
+  const ChannelTree tr(num_leaves);
+  CRMC_REQUIRE_MSG(tr.num_tree_nodes() <= ctx.channels(),
+                   "tree with " << num_leaves << " leaves needs "
+                                << tr.num_tree_nodes() << " channels, have "
+                                << ctx.channels());
+  CRMC_REQUIRE(leaf >= 1 && leaf <= num_leaves);
+
+  CohortView view;
+  view.leaf = leaf;
+  view.cid = 1;
+  view.cohort_size = 1;
+  view.cnode_heap = tr.LeafHeapIndex(leaf);
+  view.cnode_level = tr.height();
+  std::int64_t phase = 0;
+
+  for (;;) {
+    ++phase;
+    const std::int64_t phase_start_round = ctx.round();
+
+    // --- Root check: are we the last cohort standing? -------------------
+    Feedback root_fb;
+    if (view.cid == 1) {
+      root_fb = co_await ctx.Transmit(kPrimaryChannel);
+    } else {
+      root_fb = co_await ctx.Listen(kPrimaryChannel);
+    }
+    CRMC_PROTO_CHECK(!root_fb.Silence());  // every cohort has a master
+    if (root_fb.MessageHeard()) {
+      // A single master broadcast alone on the primary channel: done.
+      co_return LeafElectionResult{view.cid == 1, phase};
+    }
+
+    // --- SplitSearch for the shallowest all-distinct level. -------------
+    std::int64_t refinements = 0;
+    const std::int32_t split_level = co_await SplitSearch(
+        ctx, tr, view, params.force_binary_search, &refinements);
+    CRMC_PROTO_CHECK(split_level >= 1 && split_level <= view.cnode_level);
+
+    if (params.record_phase_stats && view.cid == 1) {
+      ctx.RecordMetric("le_csize", view.cohort_size);
+      ctx.RecordMetric("le_recursions", refinements);
+      ctx.RecordMetric("le_rounds", ctx.round() - phase_start_round + 1);
+    }
+
+    // --- Pairing at level split_level - 1. -------------------------------
+    const std::int32_t parent_heap =
+        tr.AncestorAtLevel(leaf, split_level - 1);
+    Feedback pair_fb;
+    if (view.cid == 1) {
+      pair_fb = co_await ctx.Transmit(tr.ChannelOf(parent_heap));
+    } else {
+      pair_fb = co_await ctx.Listen(tr.ChannelOf(parent_heap));
+    }
+    CRMC_PROTO_CHECK(!pair_fb.Silence());  // our own master transmitted
+    if (!pair_fb.Collision()) {
+      // Our master was alone under this ancestor: no partner cohort.
+      co_return LeafElectionResult{false, phase};
+    }
+    // Exactly two cohorts share the ancestor — one per subtree. The
+    // right-subtree cohort shifts its IDs up by the (common) cohort size.
+    if (!tr.AncestorIsLeftChild(leaf, split_level)) {
+      view.cid += view.cohort_size;
+    }
+    view.cohort_size *= 2;
+    view.cnode_heap = parent_heap;
+    view.cnode_level = split_level - 1;
+  }
+}
+
+namespace {
+
+Task<void> LeafElectionOnlyProtocol(NodeContext& ctx,
+                                    std::vector<std::int32_t> leaves,
+                                    std::int32_t num_leaves,
+                                    LeafElectionParams params) {
+  CRMC_REQUIRE(static_cast<std::size_t>(ctx.num_active_oracle()) ==
+               leaves.size());
+  const std::int32_t leaf =
+      leaves[static_cast<std::size_t>(ctx.index())];
+  const LeafElectionResult result =
+      co_await RunLeafElection(ctx, leaf, num_leaves, params);
+  if (result.leader) {
+    ctx.MarkPhase("le_leader");
+    ctx.RecordMetric("le_winner_leaf", leaf);
+    ctx.RecordMetric("le_phases", result.phases);
+  }
+}
+
+}  // namespace
+
+sim::ProtocolFactory MakeLeafElectionOnly(std::vector<std::int32_t> leaves,
+                                          std::int32_t num_leaves,
+                                          LeafElectionParams params) {
+  return [leaves = std::move(leaves), num_leaves,
+          params](NodeContext& ctx) {
+    return LeafElectionOnlyProtocol(ctx, leaves, num_leaves, params);
+  };
+}
+
+}  // namespace crmc::core

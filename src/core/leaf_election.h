@@ -1,0 +1,69 @@
+// Step #3 of the general algorithm: LeafElection with coalescing cohorts
+// (Section 5.3, Figure 3).
+//
+// Input: x <= L active nodes sitting at distinct leaves of the canonical
+// binary tree with L leaves (L a power of two; the tree's 2L - 1 nodes are
+// assigned channels by heap index, so the root *is* the primary channel).
+// Deterministically elects a leader in O(log h * log log x) rounds, where
+// h = lg L (Theorem 17).
+//
+// Each phase maintains Property 11: every active node belongs to a cohort;
+// all cohorts have the same size cSize = 2^(i-1); members hold distinct
+// cIDs in [cSize]; each cohort's cNode is the LCA of its members and all
+// cNodes are distinct tree nodes on one common level.
+//
+//   1. Cohort masters (cID = 1) broadcast on the root channel. A lone
+//      broadcast means one cohort is left: its master is the leader (and
+//      the broadcast itself solved contention resolution).
+//   2. SplitSearch finds the level l closest to the root at which all
+//      cohorts occupy distinct ancestors. With cohorts of size p it is a
+//      (p+1)-ary search — Snir's CREW-PRAM parallel search transplanted to
+//      channels: member cID probes boundary levels l_cID and l_(cID+1) via
+//      CheckLevel (2 rounds each: probe the ancestor channel, then spread
+//      the verdict on the level's row channel), and the unique member that
+//      sees the collision/no-collision flip announces the surviving
+//      subrange on the cohort's cNode channel. 5 rounds per refinement,
+//      O(log h / log(p+1)) refinements.
+//   3. Masters broadcast on their level-(l-1) ancestor's channel. A
+//      collision pairs the two cohorts under that ancestor (the paper shows
+//      there are exactly two): right-subtree members add cSize to their
+//      cID, cSize doubles, cNode moves up to the common ancestor. A lone
+//      broadcast means the cohort found no partner: it goes inactive.
+//
+// The ablation flag LeafElectionParams::force_binary_search replaces the
+// (p+1)-ary search with a plain binary search, which degrades the total
+// round count from O(log h log log x) to O(log h log x) — this isolates the
+// contribution of coalescing cohorts (experiment E12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+
+namespace crmc::core {
+
+struct LeafElectionResult {
+  bool leader = false;   // this node won
+  std::int64_t phases = 0;  // phases this node participated in
+};
+
+// Runs LeafElection for a node occupying leaf `leaf` (1-based) of the tree
+// with `num_leaves` leaves. Distinct active nodes must occupy distinct
+// leaves. Uses channels 1 .. 2*num_leaves - 1.
+sim::Task<LeafElectionResult> RunLeafElection(sim::NodeContext& ctx,
+                                              std::int32_t leaf,
+                                              std::int32_t num_leaves,
+                                              LeafElectionParams params);
+
+// Standalone protocol for tests/benches: node i occupies the (i+1)-th leaf
+// of `leaves` (a caller-chosen assignment), runs LeafElection, and the
+// winner marks phase "le_leader".
+sim::ProtocolFactory MakeLeafElectionOnly(std::vector<std::int32_t> leaves,
+                                          std::int32_t num_leaves,
+                                          LeafElectionParams params = {});
+
+}  // namespace crmc::core

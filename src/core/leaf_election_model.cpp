@@ -1,0 +1,82 @@
+#include "core/leaf_election_model.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/assert.h"
+#include "tree/channel_tree.h"
+
+namespace crmc::core {
+
+LeafElectionPrediction PredictLeafElection(
+    const std::vector<std::int32_t>& leaves, std::int32_t num_leaves) {
+  const tree::ChannelTree tr(num_leaves);
+  CRMC_REQUIRE(!leaves.empty());
+  {
+    std::set<std::int32_t> distinct(leaves.begin(), leaves.end());
+    CRMC_REQUIRE_MSG(distinct.size() == leaves.size(),
+                     "occupied leaves must be distinct");
+  }
+
+  struct Cohort {
+    std::int32_t cnode_heap;
+    std::int32_t leader_leaf;
+  };
+  std::vector<Cohort> cohorts;
+  cohorts.reserve(leaves.size());
+  for (const std::int32_t leaf : leaves) {
+    cohorts.push_back(Cohort{tr.LeafHeapIndex(leaf), leaf});
+  }
+  std::int32_t level = tr.height();
+
+  std::int64_t phase = 0;
+  for (;;) {
+    ++phase;
+    if (cohorts.size() == 1) {
+      return LeafElectionPrediction{cohorts.front().leader_leaf, phase};
+    }
+
+    // Smallest level at which all cohort ancestors are distinct. Cohort
+    // nodes sit at `level`; the ancestor of heap index x at level l is
+    // x >> (level - l).
+    std::int32_t split = level;
+    for (std::int32_t l = 1; l <= level; ++l) {
+      std::set<std::int32_t> ancestors;
+      bool distinct = true;
+      for (const Cohort& c : cohorts) {
+        if (!ancestors.insert(c.cnode_heap >> (level - l)).second) {
+          distinct = false;
+          break;
+        }
+      }
+      if (distinct) {
+        split = l;
+        break;
+      }
+    }
+    CRMC_CHECK(split >= 1);
+
+    // Pair cohorts sharing a level-(split-1) parent; drop the unpaired.
+    std::map<std::int32_t, std::vector<Cohort>> by_parent;
+    for (const Cohort& c : cohorts) {
+      by_parent[c.cnode_heap >> (level - (split - 1))].push_back(c);
+    }
+    std::vector<Cohort> next;
+    for (auto& [parent, group] : by_parent) {
+      if (group.size() < 2) continue;  // unpaired: inactive
+      CRMC_CHECK_MSG(group.size() == 2,
+                     "a parent one level below the all-distinct level can "
+                     "host at most two cohorts");
+      // The merged cohort's master is the left subtree's master.
+      const std::int32_t a0 = group[0].cnode_heap >> (level - split);
+      const Cohort& left = (a0 % 2 == 0) ? group[0] : group[1];
+      next.push_back(Cohort{parent, left.leader_leaf});
+    }
+    CRMC_CHECK_MSG(!next.empty(), "at least one pair must form");
+    cohorts = std::move(next);
+    level = split - 1;
+  }
+}
+
+}  // namespace crmc::core

@@ -1,0 +1,27 @@
+// Pure reference model of LeafElection.
+//
+// LeafElection is deterministic given the occupied leaf set, so its outcome
+// can be predicted without simulating any channels: this model replays the
+// cohort dynamics of Section 5.3 (find the shallowest all-distinct level,
+// pair cohorts under shared parents, drop the unpaired) directly on heap
+// indices. Tests compare the MAC simulation — with all of its channel
+// choreography — against this model, which checks far more than "some
+// winner emerged".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace crmc::core {
+
+struct LeafElectionPrediction {
+  std::int32_t winner_leaf = 0;
+  std::int64_t phases = 0;  // phases the winner participates in
+};
+
+// `leaves`: distinct occupied leaf labels in [1, num_leaves]; num_leaves a
+// power of two. Throws std::invalid_argument on bad input.
+LeafElectionPrediction PredictLeafElection(
+    const std::vector<std::int32_t>& leaves, std::int32_t num_leaves);
+
+}  // namespace crmc::core

@@ -1,0 +1,60 @@
+// Tunable parameters of the paper's algorithms.
+//
+// Every constant the paper fixes for analysis purposes is exposed here with
+// the paper's value documented; where the paper's constant is impractical
+// at simulation scale (it only needs to make an asymptotic argument go
+// through), the default is a practical value and the deviation is recorded
+// in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+
+namespace crmc::core {
+
+struct TwoActiveParams {
+  // Use at most this many channels even if more exist (0 = no cap beyond
+  // the paper's C <= n normalization). Mainly for experiments.
+  std::int32_t channel_cap = 0;
+};
+
+struct ReduceParams {
+  // The paper runs ceil(lg lg n) knockout iterations (Figure 2), each a
+  // pair of rounds at the same probability. `extra_iterations` adds
+  // fixed-probability (1/2) iterations at the end — useful for studying
+  // the survivor distribution; 0 reproduces the paper.
+  std::int32_t extra_iterations = 0;
+};
+
+struct IdReductionParams {
+  // Knock probability is 1/k with k = max(2, sqrt(C)/knock_divisor).
+  // Paper: 144 (Section 5.2) — chosen so 24*k*log k < C/6 in the analysis;
+  // that needs C >= ~186k channels to even give k >= 3. Default 4 keeps the
+  // same sqrt(C) scaling at simulation sizes. Any k >= 2 is correct (the
+  // loop is Las Vegas); only the round-count constant changes.
+  double knock_divisor = 4.0;
+  // Safety valve for the (w.h.p. unreachable) non-termination path.
+  std::int64_t max_pairs = 1'000'000;
+};
+
+struct LeafElectionParams {
+  // Ablation: force every SplitSearch to be binary regardless of cohort
+  // size, i.e. discard the coalescing-cohorts speedup. Turns the
+  // O(log h * log log x) bound into O(log h * log x).
+  bool force_binary_search = false;
+  // Record per-phase metrics (cohort size, SplitSearch recursions, rounds)
+  // through NodeContext::RecordMetric, keyed "le_csize", "le_recursions",
+  // "le_rounds", one entry per phase in order, recorded by cohort masters.
+  bool record_phase_stats = false;
+};
+
+struct GeneralParams {
+  ReduceParams reduce{};
+  IdReductionParams id_reduction{};
+  LeafElectionParams leaf_election{};
+  // Below this many (power-of-two) channels, fall back to the classic
+  // single-channel O(log n) collision-detection algorithm, exactly as the
+  // paper prescribes for C = O(1).
+  std::int32_t min_channels = 8;
+};
+
+}  // namespace crmc::core

@@ -1,0 +1,81 @@
+#include "core/reduce.h"
+
+#include <cmath>
+
+#include "mac/channel.h"
+#include "support/assert.h"
+#include "support/bits.h"
+
+namespace crmc::core {
+
+using mac::Feedback;
+using mac::kPrimaryChannel;
+using sim::NodeContext;
+using sim::Task;
+
+Task<StepOutcome> RunReduce(NodeContext& ctx, ReduceParams params) {
+  const double n = static_cast<double>(ctx.population());
+  const std::int32_t iterations =
+      support::CeilLgLg(static_cast<std::uint64_t>(
+          ctx.population() < 2 ? 2 : ctx.population())) +
+      params.extra_iterations;
+
+  double n_hat = n;
+  for (std::int32_t iter = 0; iter < iterations; ++iter) {
+    for (int rep = 0; rep < 2; ++rep) {
+      if (ctx.rng().Bernoulli(1.0 / n_hat)) {
+        const Feedback fb = co_await ctx.Transmit(kPrimaryChannel);
+        CRMC_PROTO_CHECK(!fb.Silence());
+        if (fb.MessageHeard()) co_return StepOutcome::kLeader;  // alone
+        // Collision: this transmitter survives the knockout.
+      } else {
+        const Feedback fb = co_await ctx.Listen(kPrimaryChannel);
+        if (!fb.Silence()) co_return StepOutcome::kInactive;
+      }
+    }
+    n_hat = std::sqrt(n_hat);
+    if (n_hat < 2.0) n_hat = 2.0;
+  }
+  co_return StepOutcome::kActive;
+}
+
+namespace {
+
+// Named coroutine (not a coroutine lambda) so `params` is copied into the
+// frame rather than living in a closure the caller might destroy.
+Task<void> ReduceOnlyProtocol(NodeContext& ctx, ReduceParams params) {
+  const StepOutcome outcome = co_await RunReduce(ctx, params);
+  if (outcome == StepOutcome::kActive) ctx.MarkPhase("reduce_survivor");
+  if (outcome == StepOutcome::kLeader) ctx.MarkPhase("reduce_leader");
+}
+
+}  // namespace
+
+sim::ProtocolFactory MakeReduceOnly(ReduceParams params) {
+  return [params](NodeContext& ctx) { return ReduceOnlyProtocol(ctx, params); };
+}
+
+Task<bool> RunKnockoutCd(NodeContext& ctx) {
+  for (;;) {
+    if (ctx.rng().Bernoulli(0.5)) {
+      const Feedback fb = co_await ctx.Transmit(kPrimaryChannel);
+      CRMC_PROTO_CHECK(!fb.Silence());
+      if (fb.MessageHeard()) co_return true;  // transmitted alone: leader
+      // Collision: stay in the game.
+    } else {
+      const Feedback fb = co_await ctx.Listen(kPrimaryChannel);
+      if (!fb.Silence()) co_return false;  // heard someone: knocked out
+    }
+  }
+}
+
+Task<void> KnockoutCdProtocol(NodeContext& ctx) {
+  const bool leader = co_await RunKnockoutCd(ctx);
+  if (leader) ctx.MarkPhase("solved");
+}
+
+sim::ProtocolFactory MakeKnockoutCd() {
+  return [](NodeContext& ctx) { return KnockoutCdProtocol(ctx); };
+}
+
+}  // namespace crmc::core

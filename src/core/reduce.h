@@ -1,0 +1,45 @@
+// Step #1 of the general algorithm: the Reduce knockout (Figure 2).
+//
+// Reduces the number of active nodes from up to n down to O(log n) in
+// O(log log n) rounds, w.h.p. (Theorem 5), using only the primary channel.
+// The knockout schedule transmits with probability 1/n-hat for two rounds,
+// then square-roots n-hat, for ceil(lg lg n) iterations. In any round with
+// at least one transmitter, listeners that hear it (message or collision)
+// become inactive; a node that transmits *alone* has — by definition —
+// already solved contention resolution and becomes the leader.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.h"
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+
+namespace crmc::core {
+
+enum class StepOutcome : std::uint8_t {
+  kActive,    // still in the game when the step ended
+  kInactive,  // knocked out; the node must stop participating
+  kLeader     // transmitted alone on the primary channel: problem solved
+};
+
+// Runs the Reduce schedule for this node. The schedule length is a fixed
+// function of n, so all nodes leave the step in the same round.
+sim::Task<StepOutcome> RunReduce(sim::NodeContext& ctx, ReduceParams params);
+
+// Reduce as a standalone protocol (terminates after the fixed schedule),
+// for unit tests and the survivor-dynamics experiment.
+sim::ProtocolFactory MakeReduceOnly(ReduceParams params = {});
+
+// The classic single-channel collision-detection contention-resolution
+// loop: every active node transmits with probability 1/2; listeners that
+// hear anything drop out; a lone transmitter wins. Theta(log n) w.h.p.
+// This is the paper's prescribed fallback for C = O(1) and also serves as
+// a baseline.
+sim::Task<void> KnockoutCdProtocol(sim::NodeContext& ctx);
+// Step form: returns true iff this node won (transmitted alone).
+sim::Task<bool> RunKnockoutCd(sim::NodeContext& ctx);
+sim::ProtocolFactory MakeKnockoutCd();
+
+}  // namespace crmc::core

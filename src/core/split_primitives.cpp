@@ -1,0 +1,107 @@
+#include "core/split_primitives.h"
+
+#include "mac/channel.h"
+#include "support/assert.h"
+#include "support/bits.h"
+
+namespace crmc::core {
+
+using mac::Feedback;
+using mac::Message;
+using sim::NodeContext;
+using sim::Task;
+using tree::ChannelTree;
+
+Task<bool> CheckLevel(NodeContext& ctx, const ChannelTree& tr,
+                      std::int32_t level, std::int32_t leaf) {
+  CRMC_CHECK(level >= 1 && level <= tr.height());
+  // Round 1: probe — one member per cohort broadcasts on its own
+  // level-`level` ancestor's channel; cohorts sharing the ancestor collide.
+  const mac::ChannelId ancestor_channel =
+      tr.ChannelOf(tr.AncestorAtLevel(leaf, level));
+  const Feedback probe = co_await ctx.Transmit(ancestor_channel);
+  CRMC_PROTO_CHECK(!probe.Silence());
+  if (probe.Collision()) {
+    // Round 2: spread the verdict on the level's row channel so members
+    // that probed a private ancestor also learn of the collision.
+    co_await ctx.Transmit(tr.RowChannel(level));
+    co_return true;
+  }
+  const Feedback row = co_await ctx.Listen(tr.RowChannel(level));
+  co_return !row.Silence();
+}
+
+Task<std::int32_t> SplitSearch(NodeContext& ctx, const ChannelTree& tr,
+                               CohortView view, bool force_binary,
+                               std::int64_t* refinements_out) {
+  CRMC_REQUIRE(view.cohort_size >= 1);
+  CRMC_REQUIRE(view.cid >= 1 && view.cid <= view.cohort_size);
+  CRMC_REQUIRE(view.cnode_level >= 0 && view.cnode_level <= tr.height());
+
+  std::int32_t l_min = 0;
+  std::int32_t l_max = view.cnode_level;
+  std::int64_t refinements = 0;
+  while (l_max > l_min + 1) {
+    ++refinements;
+    const std::int32_t range = l_max - l_min;
+    const std::int32_t arity = force_binary ? 2 : view.cohort_size + 1;
+    const auto probe_dist =
+        static_cast<std::int32_t>(support::CeilDiv(range, arity));
+    // k = smallest value with l_min + k * probe_dist >= l_max; boundary
+    // levels l_0 = l_min < l_1 < ... < l_k = l_max, with
+    // l_i = l_min + i * probe_dist for i < k.
+    const auto k =
+        static_cast<std::int32_t>(support::CeilDiv(range, probe_dist));
+    CRMC_CHECK(k >= 2 && k <= arity);
+    auto boundary_level = [&](std::int32_t i) {
+      return i >= k ? l_max : l_min + i * probe_dist;
+    };
+
+    // Rounds 1-4: members with cID < k probe their two boundary levels;
+    // everyone else idles to stay in lockstep.
+    bool first_collides = false;
+    bool second_collides = false;
+    if (view.cid < k) {
+      first_collides =
+          co_await CheckLevel(ctx, tr, boundary_level(view.cid), view.leaf);
+      second_collides = co_await CheckLevel(
+          ctx, tr, boundary_level(view.cid + 1), view.leaf);
+    } else {
+      for (int r = 0; r < 4; ++r) co_await ctx.Sleep();
+    }
+
+    // Round 5: the unique member that witnessed the collision/no-collision
+    // flip announces the surviving subrange on the cohort's own channel.
+    const mac::ChannelId cnode_channel = tr.ChannelOf(view.cnode_heap);
+    std::int32_t subrange;
+    if (view.cid < k && view.cid == 1 && !first_collides) {
+      const Feedback fb = co_await ctx.Transmit(cnode_channel, Message{0});
+      CRMC_PROTO_CHECK_MSG(fb.MessageHeard(),
+                           "two announcers in one cohort (subrange 0)");
+      subrange = 0;
+    } else if (view.cid < k && first_collides && !second_collides) {
+      const Feedback fb = co_await ctx.Transmit(
+          cnode_channel, Message{static_cast<std::uint64_t>(view.cid)});
+      CRMC_PROTO_CHECK_MSG(
+          fb.MessageHeard(),
+          "two announcers in one cohort (subrange " << view.cid << ")");
+      subrange = view.cid;
+    } else {
+      const Feedback fb = co_await ctx.Listen(cnode_channel);
+      CRMC_PROTO_CHECK_MSG(fb.MessageHeard(),
+                           "cohort announcement missing on channel "
+                               << cnode_channel);
+      subrange = static_cast<std::int32_t>(fb.message.payload);
+    }
+    CRMC_PROTO_CHECK(subrange >= 0 && subrange < k);
+    // Compute both bounds before assigning: boundary_level reads l_min.
+    const std::int32_t new_min = boundary_level(subrange);
+    const std::int32_t new_max = boundary_level(subrange + 1);
+    l_min = new_min;
+    l_max = new_max;
+  }
+  if (refinements_out != nullptr) *refinements_out = refinements;
+  co_return l_max;
+}
+
+}  // namespace crmc::core

@@ -1,0 +1,54 @@
+// The reusable communication primitives of Section 5.3.
+//
+// The paper's "Impact" discussion conjectures that coalescing cohorts and
+// the channel-tree searches they accelerate are applicable beyond leader
+// election; this header exposes them as standalone, protocol-composable
+// primitives. LeafElection is implemented on top of these, and tests
+// exercise them in isolation with synthetic cohort layouts.
+//
+// All primitives assume Property 11's synchrony discipline: every active
+// node calls the same primitive in the same round, all cohorts share the
+// same size, members hold distinct cIDs in [cohort_size], and each
+// cohort's cNode is a distinct tree node on one common level.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/node_context.h"
+#include "sim/task.h"
+#include "tree/channel_tree.h"
+
+namespace crmc::core {
+
+// One node's view of its cohort.
+struct CohortView {
+  std::int32_t leaf = 0;         // this node's leaf label in [1, L]
+  std::int32_t cid = 1;          // distinct ID within the cohort (1-based)
+  std::int32_t cohort_size = 1;  // common size of every active cohort
+  std::int32_t cnode_heap = 0;   // heap index of this cohort's tree node
+  std::int32_t cnode_level = 0;  // level of all cohort nodes
+};
+
+// CheckLevel (Figure 3): two rounds deciding — consistently across all
+// cohorts — whether any two cohorts share a level-`level` ancestor.
+// Exactly one member per cohort must call it for a given level in a given
+// round pair; `level` must be in [1, tree height].
+sim::Task<bool> CheckLevel(sim::NodeContext& ctx,
+                           const tree::ChannelTree& tr, std::int32_t level,
+                           std::int32_t leaf);
+
+// SplitSearch (Figure 3): the (p+1)-ary cohort-parallel level search —
+// Snir's CREW parallel search transplanted onto the tree of channels.
+// Returns the smallest level l in (0, view.cnode_level] at which all
+// cohorts occupy distinct ancestors. Every active node must call it in the
+// same round with consistent views. Costs exactly 5 rounds per refinement,
+// ceil(log(h)/log(cohort_size + 1)) refinements. `force_binary` discards
+// the cohort acceleration (ablation); `refinements_out` receives the
+// refinement count.
+sim::Task<std::int32_t> SplitSearch(sim::NodeContext& ctx,
+                                    const tree::ChannelTree& tr,
+                                    CohortView view,
+                                    bool force_binary = false,
+                                    std::int64_t* refinements_out = nullptr);
+
+}  // namespace crmc::core

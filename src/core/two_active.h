@@ -1,0 +1,40 @@
+// The TwoActive algorithm (Section 4 of the paper).
+//
+// Solves contention resolution for the restricted case |A| = 2 in
+// O(log n / log C + log log n) rounds w.h.p. — exactly matching the lower
+// bound of [Newport, DISC 2014]. Two steps:
+//
+//   Step 1 (ID reduction): both nodes repeatedly pick a uniform channel in
+//   [C'] and transmit; strong collision detection tells each whether it was
+//   alone. They stop — necessarily in the same round — once they hold
+//   distinct channels, whose labels become their new IDs.
+//
+//   Step 2 (SplitCheck): binary search over the lg C' levels of the
+//   canonical binary tree with C' leaves for the first level at which the
+//   two root-to-leaf paths diverge. At level m both nodes transmit on
+//   channel ceil(ID / 2^(lg C' - m)); a collision means the paths still
+//   share that level's tree node. At the divergence level exactly one node
+//   is a left child of the common parent: it wins and transmits alone on
+//   the primary channel.
+//
+// For C' = 1 (a single usable channel) the algorithm degrades, as the paper
+// notes it must, to a coin-flipping duel on the primary channel: Theta(log n)
+// w.h.p., which is optimal for one channel.
+#pragma once
+
+#include "core/params.h"
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+
+namespace crmc::core {
+
+// The protocol body for one node. Behaviour is specified only for runs with
+// exactly two activated nodes.
+sim::Task<void> TwoActiveProtocol(sim::NodeContext& ctx,
+                                  TwoActiveParams params);
+
+// Factory for Engine::Run.
+sim::ProtocolFactory MakeTwoActive(TwoActiveParams params = {});
+
+}  // namespace crmc::core

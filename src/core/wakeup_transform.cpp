@@ -1,0 +1,51 @@
+#include "core/wakeup_transform.h"
+
+#include <utility>
+#include <vector>
+
+#include "mac/channel.h"
+#include "support/assert.h"
+
+namespace crmc::core {
+
+using mac::Feedback;
+using mac::kPrimaryChannel;
+using sim::NodeContext;
+using sim::Task;
+
+Task<void> WakeupTransformProtocol(NodeContext& ctx, std::int64_t wake_delay,
+                                   sim::ProtocolFactory inner) {
+  CRMC_REQUIRE(wake_delay >= 0);
+  CRMC_REQUIRE(inner != nullptr);
+  for (std::int64_t i = 0; i < wake_delay; ++i) co_await ctx.Sleep();
+
+  // Two listening rounds on the primary channel. Any activity means an
+  // earlier batch of starters is running (their beacons occupy every other
+  // round), so this node bows out; the starters will solve the problem.
+  const Feedback first = co_await ctx.Listen(kPrimaryChannel);
+  if (!first.Silence()) co_return;
+  const Feedback second = co_await ctx.Listen(kPrimaryChannel);
+  if (!second.Silence()) co_return;
+
+  // Both silent: no beacon is on the air, so every node that woke in the
+  // same round makes the same decision — the starters begin the underlying
+  // protocol simultaneously, with the engine interleaving a beacon before
+  // each protocol round.
+  ctx.SetAutoBeacon(true);
+  co_await inner(ctx);
+  ctx.SetAutoBeacon(false);
+}
+
+sim::ProtocolFactory MakeWakeupTransform(std::vector<std::int64_t> delays,
+                                         sim::ProtocolFactory inner) {
+  return [delays = std::move(delays),
+          inner = std::move(inner)](NodeContext& ctx) {
+    CRMC_REQUIRE_MSG(
+        static_cast<std::size_t>(ctx.num_active_oracle()) == delays.size(),
+        "wakeup transform needs one delay per activated node");
+    return WakeupTransformProtocol(
+        ctx, delays[static_cast<std::size_t>(ctx.index())], inner);
+  };
+}
+
+}  // namespace crmc::core

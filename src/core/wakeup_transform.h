@@ -1,0 +1,47 @@
+// The non-simultaneous wakeup transform (Section 3).
+//
+// The paper's algorithms assume all active nodes start in the same round.
+// Section 3 sketches a factor-2 transform to the harder model where nodes
+// can wake in different rounds: on waking, a node listens on the primary
+// channel for two rounds. If both are silent, it becomes a *starter*: it
+// runs the underlying protocol on even (relative) rounds and beacons on the
+// primary channel on odd rounds. If it instead hears a beacon, message, or
+// collision, it stops participating — some earlier cohort of starters is
+// already running and will solve the problem.
+//
+// Why two listening rounds: a node might wake during a starter's protocol
+// round (no beacon audible); the second round is guaranteed to hit a beacon
+// round if any starter exists. All starters woke in the same round (they
+// all heard two silent rounds, which cannot happen once a beacon is on the
+// air), so the underlying protocol's simultaneous-start assumption holds
+// for exactly the set of starters.
+//
+// The beacon rounds deliberately put >= 1 transmitters on the primary
+// channel in every odd round, so a lone *protocol* transmission on an even
+// round is what solves the problem; with >= 2 starters beacons collide and
+// never accidentally solve it, and with exactly 1 starter the very first
+// beacon solves it legitimately.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+
+namespace crmc::core {
+
+// A step that runs `inner` under the wakeup transform, waking this node
+// after `wake_delay` rounds of sleep. The inner factory is invoked only if
+// the node becomes a starter.
+sim::Task<void> WakeupTransformProtocol(sim::NodeContext& ctx,
+                                        std::int64_t wake_delay,
+                                        sim::ProtocolFactory inner);
+
+// Factory: node i wakes after delays[i] rounds (delays.size() must equal
+// the number of activated nodes).
+sim::ProtocolFactory MakeWakeupTransform(std::vector<std::int64_t> delays,
+                                         sim::ProtocolFactory inner);
+
+}  // namespace crmc::core

@@ -1,0 +1,89 @@
+#include "harness/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/assert.h"
+
+namespace crmc::harness {
+
+Flags Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    CRMC_REQUIRE_MSG(!body.empty() && body[0] != '=',
+                     "malformed flag '" << arg << "'");
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; bare
+    // `--name` otherwise (boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "";
+    }
+  }
+  return flags;
+}
+
+std::optional<std::string> Flags::GetString(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::string Flags::GetStringOr(const std::string& name,
+                               const std::string& fallback) const {
+  return GetString(name).value_or(fallback);
+}
+
+std::int64_t Flags::GetIntOr(const std::string& name,
+                             std::int64_t fallback) const {
+  const auto value = GetString(name);
+  if (!value.has_value()) return fallback;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(value->c_str(), &end, 10);
+  CRMC_REQUIRE_MSG(end != value->c_str() && *end == '\0',
+                   "flag --" << name << " expects an integer, got '"
+                             << *value << "'");
+  return parsed;
+}
+
+double Flags::GetDoubleOr(const std::string& name, double fallback) const {
+  const auto value = GetString(name);
+  if (!value.has_value()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  CRMC_REQUIRE_MSG(end != value->c_str() && *end == '\0',
+                   "flag --" << name << " expects a number, got '" << *value
+                             << "'");
+  return parsed;
+}
+
+bool Flags::GetBoolOr(const std::string& name, bool fallback) const {
+  const auto value = GetString(name);
+  if (!value.has_value()) return fallback;
+  if (*value == "" || *value == "true" || *value == "1") return true;
+  if (*value == "false" || *value == "0") return false;
+  throw std::invalid_argument("flag --" + name +
+                              " expects a boolean, got '" + *value + "'");
+}
+
+std::vector<std::string> Flags::UnconsumedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!consumed_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace crmc::harness

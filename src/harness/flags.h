@@ -1,0 +1,45 @@
+// A small command-line flag parser for the crmc CLI and bench binaries.
+//
+// Supports `--name=value`, `--name value`, boolean `--name`, and
+// positional arguments. Unknown flags are errors (typos should not be
+// silently ignored in experiment tooling).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crmc::harness {
+
+class Flags {
+ public:
+  // Parses argv[1..). Throws std::invalid_argument on malformed input
+  // (e.g. "--=x", missing value for a known non-boolean is the caller's
+  // concern via the typed getters).
+  static Flags Parse(int argc, const char* const* argv);
+
+  // Typed getters; throw std::invalid_argument when the value does not
+  // parse. `Get*Or` return the default when the flag is absent.
+  std::optional<std::string> GetString(const std::string& name) const;
+  std::string GetStringOr(const std::string& name,
+                          const std::string& fallback) const;
+  std::int64_t GetIntOr(const std::string& name, std::int64_t fallback) const;
+  double GetDoubleOr(const std::string& name, double fallback) const;
+  bool GetBoolOr(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Names that were parsed but never read — surfaced so commands can
+  // reject typos after pulling their known flags.
+  std::vector<std::string> UnconsumedFlags() const;
+
+ private:
+  // value is empty-string for bare boolean flags.
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace crmc::harness

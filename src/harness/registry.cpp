@@ -1,0 +1,70 @@
+#include "harness/registry.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "baselines/baselines.h"
+#include "core/general.h"
+#include "core/reduce.h"
+#include "core/two_active.h"
+
+namespace crmc::harness {
+
+namespace {
+
+sim::ProtocolFactory MakeTwoActiveDefault() {
+  return core::MakeTwoActive();
+}
+sim::ProtocolFactory MakeGeneralDefault() { return core::MakeGeneral(); }
+
+}  // namespace
+
+const std::vector<AlgorithmInfo>& Algorithms() {
+  static const std::vector<AlgorithmInfo> kAlgorithms = {
+      {"two_active",
+       "paper Sec. 4: optimal O(log n/log C + loglog n) for |A| = 2",
+       /*requires_two_active=*/true, /*oracle=*/false,
+       /*self_terminating=*/true, &MakeTwoActiveDefault},
+      {"general",
+       "paper Sec. 5: O(log n/log C + loglog n * logloglog n), any |A|",
+       false, false, true, &MakeGeneralDefault},
+      {"knockout_cd",
+       "classic 1-channel CD knockout, Theta(log n); the paper's C = O(1) "
+       "fallback",
+       false, false, true, &core::MakeKnockoutCd},
+      {"binary_descent_cd",
+       "classic 1-channel CD binary descent over IDs, <= ceil(lg n)+1 "
+       "rounds, probability 1",
+       false, false, true, &baselines::MakeBinaryDescentCd},
+      {"decay_no_cd",
+       "Bar-Yehuda-style decay, 1 channel, no CD, Theta(log^2 n) w.h.p.",
+       false, false, false, &baselines::MakeDecayNoCd},
+      {"daum_multichannel_no_cd",
+       "Daum-2012-flavoured multi-channel no-CD elimination + decay",
+       false, false, false, &baselines::MakeDaumStyle},
+      {"willard_cd",
+       "Willard-1986-style density binary search, 1 channel + CD, "
+       "O(loglog n) expected",
+       false, false, true, &baselines::MakeWillardCd},
+      {"expected_o1_multichannel",
+       "geometric lottery + echo confirm, ~log n channels, no CD, O(1) "
+       "expected",
+       false, false, false, &baselines::MakeExpectedO1Multichannel},
+      {"aloha_oracle",
+       "slotted ALOHA knowing |A| exactly (clairvoyant reference)",
+       false, true, true, &baselines::MakeAlohaOracle},
+  };
+  return kAlgorithms;
+}
+
+const AlgorithmInfo& AlgorithmByName(const std::string& name) {
+  for (const AlgorithmInfo& info : Algorithms()) {
+    if (info.name == name) return info;
+  }
+  std::ostringstream os;
+  os << "unknown algorithm '" << name << "'; available:";
+  for (const AlgorithmInfo& info : Algorithms()) os << ' ' << info.name;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace crmc::harness

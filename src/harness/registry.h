@@ -1,0 +1,28 @@
+// Name-indexed registry of all contention-resolution algorithms in the
+// library, for examples and cross-algorithm benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace crmc::harness {
+
+struct AlgorithmInfo {
+  std::string name;
+  std::string description;
+  // Model requirements / caveats surfaced in example output.
+  bool requires_two_active = false;  // TwoActive is specified for |A| = 2
+  bool oracle = false;               // cheats (knows |A|)
+  bool self_terminating = false;     // nodes detect completion themselves
+  sim::ProtocolFactory (*make)() = nullptr;
+};
+
+// All registered algorithms (paper algorithms first, then baselines).
+const std::vector<AlgorithmInfo>& Algorithms();
+
+// Lookup by name; throws std::invalid_argument listing valid names.
+const AlgorithmInfo& AlgorithmByName(const std::string& name);
+
+}  // namespace crmc::harness

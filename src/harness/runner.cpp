@@ -1,0 +1,70 @@
+#include "harness/runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "support/assert.h"
+
+namespace crmc::harness {
+
+TrialSetResult RunTrials(const TrialSpec& spec,
+                         const sim::ProtocolFactory& protocol,
+                         std::int32_t trials, bool keep_runs,
+                         std::int32_t threads) {
+  CRMC_REQUIRE(trials >= 1);
+  if (threads <= 0) {
+    threads = static_cast<std::int32_t>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 4;
+  }
+  threads = std::min(threads, trials);
+
+  std::vector<sim::RunResult> runs(static_cast<std::size_t>(trials));
+  std::atomic<std::int32_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::int32_t t = next.fetch_add(1);
+      if (t >= trials) return;
+      sim::EngineConfig config;
+      config.population = spec.population;
+      config.num_active = spec.num_active;
+      config.channels = spec.channels;
+      config.seed = spec.base_seed + static_cast<std::uint64_t>(t);
+      config.max_rounds = spec.max_rounds;
+      config.stop_when_solved = spec.stop_when_solved;
+      config.record_active_counts = spec.record_active_counts;
+      runs[static_cast<std::size_t>(t)] = sim::Engine::Run(config, protocol);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (std::int32_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+
+  TrialSetResult result;
+  result.solved_rounds.reserve(static_cast<std::size_t>(trials));
+  for (const sim::RunResult& run : runs) {
+    if (run.solved) {
+      result.solved_rounds.push_back(run.solved_round + 1);
+    } else {
+      ++result.unsolved;
+    }
+  }
+  result.summary = Summarize(result.solved_rounds);
+  if (keep_runs) result.runs = std::move(runs);
+  return result;
+}
+
+double MeanSolvedRounds(const TrialSpec& spec,
+                        const sim::ProtocolFactory& protocol,
+                        std::int32_t trials) {
+  const TrialSetResult r = RunTrials(spec, protocol, trials);
+  CRMC_CHECK_MSG(r.unsolved == 0, r.unsolved << " of " << trials
+                                             << " trials failed to solve");
+  return r.summary.mean;
+}
+
+}  // namespace crmc::harness

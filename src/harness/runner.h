@@ -1,0 +1,51 @@
+// Multi-trial experiment runner.
+//
+// Runs many independent Engine executions (different seeds) of a protocol
+// on a fixed (n, |A|, C) point, in parallel across hardware threads, and
+// collects the solved-round distribution. Every bench binary is built on
+// this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/stats.h"
+#include "sim/engine.h"
+
+namespace crmc::harness {
+
+struct TrialSpec {
+  std::int64_t population = 0;  // n (0 -> num_active)
+  std::int32_t num_active = 0;  // |A|
+  std::int32_t channels = 1;    // C
+  std::int64_t max_rounds = 4'000'000;
+  std::uint64_t base_seed = 0x5eedULL;
+  bool record_active_counts = false;
+  bool stop_when_solved = true;
+};
+
+struct TrialSetResult {
+  std::vector<std::int64_t> solved_rounds;  // per solved trial (1-based count)
+  std::int32_t unsolved = 0;                // trials that hit max_rounds
+  Summary summary;                          // over solved_rounds
+  std::vector<sim::RunResult> runs;         // iff keep_runs was requested
+};
+
+// Runs `trials` executions with seeds base_seed + t. `keep_runs` retains
+// the full RunResult per trial (costs memory; used by instrumentation-heavy
+// experiments). Trials are distributed over up to `threads` std::threads
+// (0 = hardware concurrency). The solved-round metric is reported as
+// solved_round + 1, i.e. "the problem was solved in the R-th round".
+TrialSetResult RunTrials(const TrialSpec& spec,
+                         const sim::ProtocolFactory& protocol,
+                         std::int32_t trials, bool keep_runs = false,
+                         std::int32_t threads = 0);
+
+// Convenience: mean solved rounds (asserts all trials solved).
+double MeanSolvedRounds(const TrialSpec& spec,
+                        const sim::ProtocolFactory& protocol,
+                        std::int32_t trials);
+
+}  // namespace crmc::harness

@@ -1,0 +1,162 @@
+#include "harness/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace crmc::harness {
+
+namespace {
+double QuantileSorted(const std::vector<std::int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return static_cast<double>(sorted[0]);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+}  // namespace
+
+Summary Summarize(const std::vector<std::int64_t>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<std::int64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = static_cast<std::int64_t>(sorted.size());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (const std::int64_t v : sorted) sum += static_cast<double>(v);
+  s.mean = sum / static_cast<double>(sorted.size());
+  double ss = 0.0;
+  for (const std::int64_t v : sorted) {
+    const double d = static_cast<double>(v) - s.mean;
+    ss += d * d;
+  }
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+  s.median = QuantileSorted(sorted, 0.5);
+  s.p95 = QuantileSorted(sorted, 0.95);
+  s.p99 = QuantileSorted(sorted, 0.99);
+  return s;
+}
+
+double Quantile(std::vector<std::int64_t> values, double q) {
+  CRMC_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, q);
+}
+
+LinearFit FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  CRMC_REQUIRE(x.size() == y.size());
+  LinearFit fit;
+  const auto n = static_cast<double>(x.size());
+  if (x.size() < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+ConfidenceInterval BootstrapMeanCi(const std::vector<std::int64_t>& values,
+                                   double alpha, std::int32_t resamples,
+                                   std::uint64_t seed) {
+  CRMC_REQUIRE(alpha > 0.0 && alpha < 1.0);
+  CRMC_REQUIRE(resamples >= 10);
+  ConfidenceInterval ci;
+  if (values.empty()) return ci;
+  support::RandomSource rng(seed);
+  const auto n = static_cast<std::int64_t>(values.size());
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (std::int32_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sum += static_cast<double>(
+          values[static_cast<std::size_t>(rng.UniformInt(0, n - 1))]);
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(means.size() - 1));
+    return means[idx];
+  };
+  ci.lower = at(alpha / 2.0);
+  ci.upper = at(1.0 - alpha / 2.0);
+  return ci;
+}
+
+std::string AsciiHistogram(const std::vector<std::int64_t>& values,
+                           std::int32_t bins, std::int32_t max_bar_width) {
+  CRMC_REQUIRE(max_bar_width >= 1);
+  if (values.empty()) return "(no data)\n";
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  const std::int64_t lo = *min_it;
+  const std::int64_t hi = *max_it;
+  if (bins <= 0) {
+    bins = static_cast<std::int32_t>(
+        std::max(1.0, std::round(std::sqrt(
+                          static_cast<double>(values.size())))));
+    bins = std::min(bins, 20);
+  }
+  const std::int64_t span = hi - lo + 1;
+  bins = static_cast<std::int32_t>(
+      std::min<std::int64_t>(bins, span));
+  const std::int64_t width = (span + bins - 1) / bins;
+
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(bins), 0);
+  for (const std::int64_t v : values) {
+    auto b = static_cast<std::size_t>((v - lo) / width);
+    if (b >= counts.size()) b = counts.size() - 1;
+    ++counts[b];
+  }
+  const std::int64_t peak = *std::max_element(counts.begin(), counts.end());
+
+  std::ostringstream os;
+  for (std::int32_t b = 0; b < bins; ++b) {
+    const std::int64_t from = lo + b * width;
+    const std::int64_t to = std::min<std::int64_t>(from + width - 1, hi);
+    const std::int64_t count = counts[static_cast<std::size_t>(b)];
+    const auto bar = static_cast<std::int32_t>(
+        peak == 0 ? 0 : (count * max_bar_width + peak - 1) / peak);
+    os << std::setw(8) << from;
+    if (to != from) {
+      os << "-" << std::left << std::setw(8) << to << std::right;
+    } else {
+      os << std::string(9, ' ');
+    }
+    os << " |" << std::string(static_cast<std::size_t>(bar), '#')
+       << std::string(static_cast<std::size_t>(max_bar_width - bar), ' ')
+       << ' ' << count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace crmc::harness

@@ -1,0 +1,55 @@
+// Summary statistics for experiment results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crmc::harness {
+
+struct Summary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+// Computes order statistics and moments of `values` (copied and sorted
+// internally). Empty input yields a zero Summary.
+Summary Summarize(const std::vector<std::int64_t>& values);
+
+// Quantile by linear interpolation on the sorted copy; q in [0, 1].
+double Quantile(std::vector<std::int64_t> values, double q);
+
+// Least-squares fit of y ~ a*x + b; returns {a, b}. Used to check scaling
+// shapes (e.g., rounds vs log n / log C should be linear with slope ~const).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit FitLinear(const std::vector<double>& x, const std::vector<double>& y);
+
+// Percentile-bootstrap confidence interval for the mean: resamples
+// `values` with replacement `resamples` times (deterministically, from
+// `seed`) and returns the [alpha/2, 1-alpha/2] band of resampled means.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+ConfidenceInterval BootstrapMeanCi(const std::vector<std::int64_t>& values,
+                                   double alpha = 0.05,
+                                   std::int32_t resamples = 1000,
+                                   std::uint64_t seed = 0xb007);
+
+// Fixed-width ASCII histogram of `values` ("12-14 | #### 37"-style rows),
+// for distribution-shaped bench output. `bins` <= 0 picks ~sqrt(count).
+std::string AsciiHistogram(const std::vector<std::int64_t>& values,
+                           std::int32_t bins = 0,
+                           std::int32_t max_bar_width = 50);
+
+}  // namespace crmc::harness

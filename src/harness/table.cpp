@@ -1,0 +1,96 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace crmc::harness {
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  CRMC_REQUIRE(!columns_.empty());
+}
+
+Table::RowBuilder& Table::RowBuilder::Cell(const std::string& v) {
+  cells_.push_back(v);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::Cell(const char* v) {
+  cells_.emplace_back(v);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::Cell(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::Cell(double v, int precision) {
+  cells_.push_back(FormatDouble(v, precision));
+  return *this;
+}
+
+Table::RowScope::~RowScope() {
+  builder_.table_.AddRow(std::move(builder_.cells_));
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  CRMC_REQUIRE_MSG(cells.size() == columns_.size(),
+                   "row has " << cells.size() << " cells, table has "
+                              << columns_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::PrintMarkdown(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  os << "|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::Print(std::ostream& os) const {
+  const char* mode = std::getenv("CRMC_OUTPUT");
+  if (mode != nullptr && std::string(mode) == "csv") {
+    PrintCsv(os);
+  } else {
+    PrintMarkdown(os);
+  }
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace crmc::harness

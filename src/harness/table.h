@@ -1,0 +1,78 @@
+// Markdown / CSV table rendering for bench output.
+//
+// Every bench binary prints the rows/series of the experiment it
+// regenerates; this keeps the formatting consistent and machine-readable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crmc::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // Row-building: values are formatted on insertion.
+  class RowBuilder {
+   public:
+    RowBuilder& Cell(const std::string& v);
+    RowBuilder& Cell(const char* v);
+    RowBuilder& Cell(std::int64_t v);
+    RowBuilder& Cell(std::int32_t v) {
+      return Cell(static_cast<std::int64_t>(v));
+    }
+    RowBuilder& Cell(double v, int precision = 2);
+
+   private:
+    friend class Table;
+    explicit RowBuilder(Table& table) : table_(table) {}
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  // Usage: table.Row().Cell(n).Cell(c).Cell(mean); the row is committed
+  // when the builder is destroyed (end of the full expression).
+  class RowScope {
+   public:
+    explicit RowScope(Table& table) : builder_(table) {}
+    ~RowScope();
+    RowScope(const RowScope&) = delete;
+    RowScope& operator=(const RowScope&) = delete;
+    template <typename T, typename... Rest>
+    RowScope& Cells(T&& first, Rest&&... rest) {
+      builder_.Cell(std::forward<T>(first));
+      if constexpr (sizeof...(rest) > 0) Cells(std::forward<Rest>(rest)...);
+      return *this;
+    }
+
+   private:
+    RowBuilder builder_;
+  };
+
+  // table.Row().Cells(a, b, c) — the row commits when the temporary dies
+  // (guaranteed copy elision makes returning the non-movable scope legal).
+  RowScope Row() { return RowScope(*this); }
+
+  void AddRow(std::vector<std::string> cells);
+  std::size_t num_rows() const { return rows_.size(); }
+
+  void PrintMarkdown(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+  // Markdown unless the environment variable CRMC_OUTPUT=csv is set —
+  // lets `CRMC_OUTPUT=csv ./bench_... > data.csv` feed plotting scripts
+  // without touching the binaries.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (helper shared with benches).
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace crmc::harness

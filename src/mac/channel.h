@@ -1,0 +1,106 @@
+// The multiple-access-channel (MAC) model from Section 3 of the paper.
+//
+// A network has C channels labelled 1..C. In each synchronous round every
+// participating node picks one channel and either transmits a message or
+// receives. Each channel independently behaves as a MAC with *strong*
+// collision detection:
+//   - 0 transmitters  -> every participant observes kSilence;
+//   - 1 transmitter   -> every participant (including the transmitter, which
+//                        thereby learns it was alone) observes kMessage and
+//                        receives the payload;
+//   - 2+ transmitters -> every participant observes kCollision.
+// Channel 1 is the *primary* channel: the contention-resolution problem is
+// solved in the first round in which exactly one node transmits on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace crmc::mac {
+
+// Collision-detection capability of the network (Section 2 discusses all
+// three). The paper's algorithms assume kStrong; the weaker models exist to
+// run no-CD baselines honestly and to demonstrate by ablation that strong
+// CD is what the paper's algorithms actually rely on.
+enum class CdModel : std::uint8_t {
+  // Classical strong CD: every participant on a channel — transmitters
+  // included — learns silence / message / collision.
+  kStrong = 0,
+  // Receiver collision detection (half-duplex transmitters): receivers get
+  // full feedback, transmitters learn nothing (they observe silence).
+  kReceiverOnly = 1,
+  // No collision detection: a receiver hears a message iff exactly one
+  // node transmitted; otherwise it observes silence (collisions are
+  // indistinguishable from an idle channel). Transmitters learn nothing.
+  kNone = 2,
+};
+
+inline const char* ToString(CdModel m) {
+  switch (m) {
+    case CdModel::kStrong:
+      return "strong-cd";
+    case CdModel::kReceiverOnly:
+      return "receiver-cd";
+    case CdModel::kNone:
+      return "no-cd";
+  }
+  return "?";
+}
+
+// 1-based channel label. kIdleChannel means "do not participate this round".
+using ChannelId = std::int32_t;
+inline constexpr ChannelId kIdleChannel = 0;
+inline constexpr ChannelId kPrimaryChannel = 1;
+
+// Message payload. The algorithms in the paper only ever need to carry a
+// small integer (e.g., the subrange index announced during SplitSearch).
+struct Message {
+  std::uint64_t payload = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+// What a participant observed on its channel this round.
+enum class Observation : std::uint8_t {
+  kSilence = 0,   // no transmitter on the channel
+  kMessage = 1,   // exactly one transmitter; payload delivered
+  kCollision = 2  // two or more transmitters
+};
+
+inline const char* ToString(Observation o) {
+  switch (o) {
+    case Observation::kSilence:
+      return "silence";
+    case Observation::kMessage:
+      return "message";
+    case Observation::kCollision:
+      return "collision";
+  }
+  return "?";
+}
+
+// A node's decision for one round.
+struct Action {
+  ChannelId channel = kIdleChannel;  // 0 = sleep this round
+  bool transmit = false;
+  Message message{};
+
+  static Action Idle() { return Action{}; }
+  static Action Transmit(ChannelId ch, Message m = {}) {
+    return Action{ch, true, m};
+  }
+  static Action Listen(ChannelId ch) { return Action{ch, false, Message{}}; }
+};
+
+// What the node learns at the end of the round. Idle nodes observe silence
+// by convention (they learn nothing).
+struct Feedback {
+  Observation observation = Observation::kSilence;
+  Message message{};  // valid iff observation == kMessage
+
+  bool Silence() const { return observation == Observation::kSilence; }
+  bool MessageHeard() const { return observation == Observation::kMessage; }
+  bool Collision() const { return observation == Observation::kCollision; }
+};
+
+}  // namespace crmc::mac

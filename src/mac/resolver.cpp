@@ -1,0 +1,90 @@
+#include "mac/resolver.h"
+
+#include "support/assert.h"
+
+namespace crmc::mac {
+
+Resolver::Resolver(std::int32_t num_channels, CdModel cd_model)
+    : num_channels_(num_channels), cd_model_(cd_model) {
+  CRMC_REQUIRE_MSG(num_channels >= 1,
+                   "a network needs at least one channel, got "
+                       << num_channels);
+  activity_.resize(static_cast<std::size_t>(num_channels) + 1);
+  touched_channels_.reserve(64);
+}
+
+RoundSummary Resolver::Resolve(std::span<const Action> actions,
+                               std::vector<Feedback>& feedback) {
+  // Clear only the channels dirtied last round: rounds usually touch a
+  // handful of channels even in huge networks.
+  for (const ChannelId ch : touched_channels_) {
+    activity_[static_cast<std::size_t>(ch)] = ChannelActivity{};
+  }
+  touched_channels_.clear();
+
+  RoundSummary summary;
+  for (const Action& a : actions) {
+    if (a.channel == kIdleChannel) continue;
+    CRMC_CHECK_MSG(a.channel >= 1 && a.channel <= num_channels_,
+                   "protocol used channel " << a.channel << " of "
+                                            << num_channels_);
+    ChannelActivity& act = activity_[static_cast<std::size_t>(a.channel)];
+    if (act.transmitters == 0 && act.listeners == 0) {
+      touched_channels_.push_back(a.channel);
+    }
+    ++summary.total_participants;
+    if (a.transmit) {
+      ++summary.total_transmissions;
+      if (++act.transmitters == 1) act.lone_message = a.message;
+    } else {
+      ++act.listeners;
+    }
+  }
+  summary.primary_transmitters =
+      activity_[static_cast<std::size_t>(kPrimaryChannel)].transmitters;
+
+  feedback.resize(actions.size());
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const Action& a = actions[i];
+    Feedback& fb = feedback[i];
+    if (a.channel == kIdleChannel) {
+      fb = Feedback{};  // idle nodes learn nothing
+      continue;
+    }
+    const ChannelActivity& act = activity_[static_cast<std::size_t>(a.channel)];
+    if (act.transmitters == 0) {
+      fb.observation = Observation::kSilence;
+      fb.message = Message{};
+    } else if (act.transmitters == 1) {
+      fb.observation = Observation::kMessage;
+      fb.message = act.lone_message;
+    } else {
+      fb.observation = Observation::kCollision;
+      fb.message = Message{};
+    }
+    // Degrade feedback per the collision-detection model.
+    switch (cd_model_) {
+      case CdModel::kStrong:
+        break;
+      case CdModel::kReceiverOnly:
+        // Half-duplex: a transmitter learns nothing about its channel.
+        if (a.transmit) fb = Feedback{};
+        break;
+      case CdModel::kNone:
+        if (a.transmit) {
+          fb = Feedback{};  // transmitters learn nothing
+        } else if (fb.observation == Observation::kCollision) {
+          fb = Feedback{};  // collisions read as silence
+        }
+        break;
+    }
+  }
+  return summary;
+}
+
+const ChannelActivity& Resolver::ActivityOf(ChannelId ch) const {
+  CRMC_REQUIRE(ch >= 1 && ch <= num_channels_);
+  return activity_[static_cast<std::size_t>(ch)];
+}
+
+}  // namespace crmc::mac

@@ -1,0 +1,63 @@
+// Per-round resolution of channel activity into per-node feedback.
+//
+// Factored out of the engine so the MAC semantics can be unit-tested in
+// isolation and reused by alternative executors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mac/channel.h"
+
+namespace crmc::mac {
+
+// Aggregate activity observed on one channel during one round.
+struct ChannelActivity {
+  std::int32_t transmitters = 0;
+  std::int32_t listeners = 0;
+  Message lone_message{};  // valid iff transmitters == 1
+};
+
+// Summary of a resolved round, for metrics and solved-detection.
+struct RoundSummary {
+  std::int64_t total_transmissions = 0;
+  std::int64_t total_participants = 0;   // non-idle actions
+  std::int32_t primary_transmitters = 0;  // transmitters on channel 1
+};
+
+// Resolves one synchronous round. `actions[i]` is node i's decision;
+// `feedback[i]` receives what node i observes. `num_channels` bounds the
+// legal channel labels; out-of-range channels trip a CRMC_CHECK (protocol
+// bug). Scratch state is kept inside the resolver so repeated rounds do not
+// reallocate.
+class Resolver {
+ public:
+  explicit Resolver(std::int32_t num_channels,
+                    CdModel cd_model = CdModel::kStrong);
+
+  std::int32_t num_channels() const { return num_channels_; }
+  CdModel cd_model() const { return cd_model_; }
+
+  // Resolve `actions` into `feedback` (resized to actions.size()).
+  RoundSummary Resolve(std::span<const Action> actions,
+                       std::vector<Feedback>& feedback);
+
+  // Activity of a single channel in the most recent Resolve call. Intended
+  // for tests and tracing.
+  const ChannelActivity& ActivityOf(ChannelId ch) const;
+
+  // Channels with at least one participant in the most recent round,
+  // in first-touched order. Intended for tracing.
+  const std::vector<ChannelId>& touched_channels() const {
+    return touched_channels_;
+  }
+
+ private:
+  std::int32_t num_channels_;
+  CdModel cd_model_;
+  std::vector<ChannelActivity> activity_;    // index 0 unused, 1..C
+  std::vector<ChannelId> touched_channels_;  // channels dirtied this round
+};
+
+}  // namespace crmc::mac

@@ -1,0 +1,62 @@
+#include "pram/crew_pram.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace crmc::pram {
+
+CrewPram::CrewPram(std::int32_t num_processors, std::size_t memory_cells) {
+  CRMC_REQUIRE(num_processors >= 1);
+  CRMC_REQUIRE(memory_cells >= 1);
+  num_processors_ = num_processors;
+  memory_.assign(memory_cells, 0);
+}
+
+Cell CrewPram::Peek(std::size_t addr) const {
+  CRMC_REQUIRE(addr < memory_.size());
+  return memory_[addr];
+}
+
+void CrewPram::Poke(std::size_t addr, Cell value) {
+  CRMC_REQUIRE(addr < memory_.size());
+  memory_[addr] = value;
+}
+
+Cell CrewPram::ProcessorView::Read(std::size_t addr) const {
+  CRMC_REQUIRE(addr < pram_.memory_.size());
+  ++pram_.reads_;
+  return pram_.memory_[addr];
+}
+
+void CrewPram::ProcessorView::Write(std::size_t addr, Cell value) {
+  CRMC_REQUIRE(addr < pram_.memory_.size());
+  ++pram_.writes_;
+  pram_.pending_.push_back({addr, value, id_});
+}
+
+void CrewPram::Step(const StepFn& fn) {
+  CRMC_REQUIRE(fn != nullptr);
+  pending_.clear();
+  for (std::int32_t p = 0; p < num_processors_; ++p) {
+    ProcessorView view(*this, p);
+    fn(view);
+  }
+  // Exclusive write: any two writes to the same address conflict.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingWrite& a, const PendingWrite& b) {
+              return a.addr < b.addr;
+            });
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    if (pending_[i].addr == pending_[i - 1].addr) {
+      std::ostringstream os;
+      os << "CREW exclusive-write violation: processors "
+         << pending_[i - 1].writer << " and " << pending_[i].writer
+         << " both wrote cell " << pending_[i].addr << " in step " << steps_;
+      throw CrewViolation(os.str());
+    }
+  }
+  for (const PendingWrite& w : pending_) memory_[w.addr] = w.value;
+  ++steps_;
+}
+
+}  // namespace crmc::pram

@@ -1,0 +1,81 @@
+// A small CREW PRAM simulator.
+//
+// The paper's LeafElection step simulates Snir's (p+1)-ary parallel search
+// from the CREW PRAM model [Snir, SIAM J. Comput. 1985]. We build that
+// substrate explicitly: a shared memory of int64 cells and p processors
+// advancing in synchronous steps. Within a step every processor sees the
+// memory as of the step's start (reads are buffered-by-construction) and
+// writes are applied at the end of the step. Concurrent reads are allowed;
+// two writes to the same cell in one step — even of equal values — violate
+// the Exclusive-Write rule and throw CrewViolation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace crmc::pram {
+
+using Cell = std::int64_t;
+
+class CrewViolation : public std::logic_error {
+ public:
+  explicit CrewViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+class CrewPram {
+ public:
+  CrewPram(std::int32_t num_processors, std::size_t memory_cells);
+
+  std::int32_t num_processors() const { return num_processors_; }
+  std::size_t memory_size() const { return memory_.size(); }
+  std::int64_t steps_executed() const { return steps_; }
+  std::int64_t total_reads() const { return reads_; }
+  std::int64_t total_writes() const { return writes_; }
+
+  // Host-side (outside the PRAM) memory access, for setup and inspection.
+  Cell Peek(std::size_t addr) const;
+  void Poke(std::size_t addr, Cell value);
+
+  // What one processor sees during a step.
+  class ProcessorView {
+   public:
+    std::int32_t id() const { return id_; }
+    std::int32_t num_processors() const { return pram_.num_processors_; }
+    // Read a cell (start-of-step snapshot).
+    Cell Read(std::size_t addr) const;
+    // Buffer a write; applied after all processors finish the step.
+    void Write(std::size_t addr, Cell value);
+
+   private:
+    friend class CrewPram;
+    ProcessorView(CrewPram& pram, std::int32_t id) : pram_(pram), id_(id) {}
+    CrewPram& pram_;
+    std::int32_t id_;
+  };
+
+  using StepFn = std::function<void(ProcessorView&)>;
+
+  // Execute one synchronous step: `fn` runs once per processor, then all
+  // buffered writes are applied. Throws CrewViolation on write conflicts.
+  void Step(const StepFn& fn);
+
+ private:
+  struct PendingWrite {
+    std::size_t addr;
+    Cell value;
+    std::int32_t writer;
+  };
+
+  std::int32_t num_processors_;
+  std::vector<Cell> memory_;
+  std::vector<PendingWrite> pending_;
+  std::int64_t steps_ = 0;
+  std::int64_t reads_ = 0;
+  std::int64_t writes_ = 0;
+};
+
+}  // namespace crmc::pram

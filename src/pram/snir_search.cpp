@@ -1,0 +1,114 @@
+#include "pram/snir_search.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+#include "support/bits.h"
+
+namespace crmc::pram {
+namespace {
+
+// Shared-memory layout.
+constexpr std::size_t kLo = 0;    // invariant: answer in (lo, hi]
+constexpr std::size_t kHi = 1;
+constexpr std::size_t kProbe0 = 2;  // probe results t_0 .. t_{p+1}
+std::size_t ArrayBase(std::int32_t p) {
+  return kProbe0 + static_cast<std::size_t>(p) + 2;
+}
+
+}  // namespace
+
+std::int64_t PredictedIterations(std::size_t n, std::int32_t p) {
+  if (n == 0) return 0;
+  const double num = std::log2(static_cast<double>(n) + 1.0);
+  const double den = std::log2(static_cast<double>(p) + 1.0);
+  return static_cast<std::int64_t>(std::ceil(num / den));
+}
+
+std::size_t ParallelLowerBound(std::span<const std::int64_t> sorted,
+                               std::int64_t key, std::int32_t p,
+                               SearchStats* stats) {
+  CRMC_REQUIRE(p >= 1);
+  const auto n = static_cast<std::int64_t>(sorted.size());
+  const std::size_t base = ArrayBase(p);
+  CrewPram pram(p, base + sorted.size() + 1);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    pram.Poke(base + i, sorted[i]);
+  }
+  // Invariant: answer in (lo, hi]. t(q) := "answer > q" is monotone
+  // non-increasing in q; t(lo) = true and t(hi) = false by the invariant
+  // (with the convention that the virtual probes at the interval endpoints
+  // need not be evaluated).
+  pram.Poke(kLo, -1);
+  pram.Poke(kHi, n);
+
+  std::int64_t iterations = 0;
+  while (pram.Peek(kHi) - pram.Peek(kLo) > 1) {
+    ++iterations;
+    // Step A: probe. Processor i evaluates t at boundary
+    //   q_i = lo + ceil(width * i / (p + 1)),   i in [1, p],
+    // and records it. Virtual results t_0 = true, t_{p+1} = false.
+    pram.Step([&](CrewPram::ProcessorView& v) {
+      const Cell lo = v.Read(kLo);
+      const Cell hi = v.Read(kHi);
+      const Cell width = hi - lo;
+      const std::int64_t i = v.id() + 1;
+      const Cell q =
+          lo + support::CeilDiv(width * i, static_cast<std::int64_t>(
+                                               v.num_processors()) +
+                                               1);
+      // t(q): answer > q  <=>  q < n and a[q] < key.
+      bool t;
+      if (q >= hi) {
+        t = false;  // beyond the interval: t(hi) is false by invariant
+      } else {
+        const Cell a_q = v.Read(base + static_cast<std::size_t>(q));
+        t = a_q < key;
+      }
+      if (v.id() == 0) {
+        v.Write(kProbe0, 1);  // virtual t_0 = true
+        v.Write(kProbe0 + static_cast<std::size_t>(v.num_processors()) + 1,
+                0);  // virtual t_{p+1} = false
+      }
+      v.Write(kProbe0 + static_cast<std::size_t>(i), t ? 1 : 0);
+    });
+    // Step B: the unique processor that sees the true->false flip between
+    // its own result and its right neighbour announces the new interval.
+    pram.Step([&](CrewPram::ProcessorView& v) {
+      const Cell lo = v.Read(kLo);
+      const Cell hi = v.Read(kHi);
+      const Cell width = hi - lo;
+      const std::int64_t pp = v.num_processors();
+      auto boundary = [&](std::int64_t i) -> Cell {
+        if (i <= 0) return lo;
+        if (i >= pp + 1) return hi;
+        const Cell q = lo + support::CeilDiv(width * i, pp + 1);
+        return q < hi ? q : hi;
+      };
+      // Processor i owns flips at positions i (between t_i and t_{i+1})
+      // and, for processor 0 only, also position 0 is impossible to flip
+      // exclusively... each processor i in [0, p-1] checks pair (i, i+1)
+      // and processor p-1 additionally checks pair (p, p+1).
+      for (std::int64_t pair = v.id();
+           pair <= (v.id() == pp - 1 ? pp : v.id()); ++pair) {
+        const Cell t_left = v.Read(kProbe0 + static_cast<std::size_t>(pair));
+        const Cell t_right =
+            v.Read(kProbe0 + static_cast<std::size_t>(pair) + 1);
+        const Cell b_left = boundary(pair);
+        const Cell b_right = boundary(pair + 1);
+        if (t_left == 1 && t_right == 0 && b_left != b_right) {
+          v.Write(kLo, b_left);
+          v.Write(kHi, b_right);
+        }
+      }
+    });
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->pram_steps = pram.steps_executed();
+  }
+  return static_cast<std::size_t>(pram.Peek(kHi));
+}
+
+}  // namespace crmc::pram

@@ -1,0 +1,38 @@
+// Snir's (p+1)-ary parallel search on the CREW PRAM.
+//
+// Given a sorted array of N keys and a search key, p processors locate the
+// key's lower bound in Theta(log N / log(p+1)) rounds: each round the
+// current candidate interval is split into p+1 subranges, processor i
+// probes the boundary of subrange i, and the unique processor that sees the
+// predicate flip announces the new interval (an exclusive write — only one
+// processor can own the flip because the probe results are monotone).
+//
+// This is exactly the search that LeafElection's SplitSearch simulates on
+// the multi-channel MAC: cohort members play the processors, CheckLevel
+// plays the probe, and the cNode channel plays the announcement cell.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pram/crew_pram.h"
+
+namespace crmc::pram {
+
+struct SearchStats {
+  std::int64_t pram_steps = 0;  // synchronous PRAM steps consumed
+  std::int64_t iterations = 0;  // interval-shrinking rounds
+};
+
+// Returns the index of the first element of `sorted` that is >= `key`
+// (i.e. std::lower_bound), computed by `p` processors on a CrewPram.
+// `stats`, when provided, receives the cost of the search.
+std::size_t ParallelLowerBound(std::span<const std::int64_t> sorted,
+                               std::int64_t key, std::int32_t p,
+                               SearchStats* stats = nullptr);
+
+// The predicted iteration bound from Snir's analysis:
+// ceil(log2(N + 1) / log2(p + 1)).
+std::int64_t PredictedIterations(std::size_t n, std::int32_t p);
+
+}  // namespace crmc::pram

@@ -1,0 +1,204 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "mac/resolver.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace crmc::sim {
+
+std::int64_t RunResult::LastPhaseMark(const std::string& name) const {
+  std::int64_t best = -1;
+  for (const NodeReport& r : node_reports) {
+    auto it = r.phase_marks.find(name);
+    if (it != r.phase_marks.end() && it->second > best) best = it->second;
+  }
+  return best;
+}
+
+std::vector<std::int64_t> RunResult::MetricValues(
+    const std::string& name) const {
+  std::vector<std::int64_t> out;
+  for (const NodeReport& r : node_reports) {
+    for (const auto& [key, value] : r.metrics) {
+      if (key == name) out.push_back(value);
+    }
+  }
+  return out;
+}
+
+RunResult Engine::Run(const EngineConfig& config,
+                      const ProtocolFactory& protocol) {
+  CRMC_REQUIRE_MSG(config.num_active >= 1,
+                   "need at least one activated node");
+  CRMC_REQUIRE(config.channels >= 1);
+  CRMC_REQUIRE(config.max_rounds >= 1);
+  const std::int64_t population =
+      config.population == 0 ? config.num_active : config.population;
+  CRMC_REQUIRE_MSG(population >= config.num_active,
+                   "population " << population << " < activated nodes "
+                                 << config.num_active);
+  CRMC_REQUIRE(protocol != nullptr);
+
+  // Unique IDs for baselines that assume them (sampled from [1, n]).
+  support::RandomSource id_rng =
+      support::RandomSource::ForStream(config.seed, 0x1d5eed);
+  const std::vector<std::int64_t> unique_ids = support::SampleWithoutReplacement(
+      population, config.num_active, id_rng);
+
+  std::deque<NodeContext> contexts;
+  std::vector<ProtocolTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(config.num_active));
+  for (NodeId i = 0; i < config.num_active; ++i) {
+    contexts.emplace_back(
+        i, population, config.num_active, config.channels,
+        unique_ids[static_cast<std::size_t>(i)],
+        support::RandomSource::ForStream(config.seed,
+                                         static_cast<std::uint64_t>(i) + 1));
+  }
+  for (NodeId i = 0; i < config.num_active; ++i) {
+    tasks.push_back(protocol(contexts[static_cast<std::size_t>(i)]));
+    CRMC_CHECK_MSG(tasks.back().Valid(), "protocol factory returned no task");
+  }
+
+  std::vector<NodeId> alive;
+  alive.reserve(static_cast<std::size_t>(config.num_active));
+
+  // Kick every coroutine to its first round request (or completion).
+  for (NodeId i = 0; i < config.num_active; ++i) {
+    auto& task = tasks[static_cast<std::size_t>(i)];
+    task.Resume();
+    if (task.Done()) {
+      task.RethrowIfFailed();
+    } else {
+      CRMC_CHECK_MSG(contexts[static_cast<std::size_t>(i)].has_pending_,
+                     "protocol suspended without submitting a round action");
+      alive.push_back(i);
+    }
+  }
+
+  RunResult result;
+  mac::Resolver resolver(config.channels, config.cd_model);
+  std::vector<mac::Action> actions(
+      static_cast<std::size_t>(config.num_active));
+  std::vector<mac::Feedback> feedback;
+  std::vector<std::int64_t> node_tx(
+      static_cast<std::size_t>(config.num_active), 0);
+  // Wakeup-transform bookkeeping: a node in auto-beacon mode transmits on
+  // the primary channel in the round *before* each of its protocol rounds.
+  // beacon_emitted[i] == 1 means the beacon for node i's currently pending
+  // action already went out, so the action itself runs next.
+  std::vector<std::uint8_t> beacon_emitted(
+      static_cast<std::size_t>(config.num_active), 0);
+
+  std::int64_t round = 0;
+  while (!alive.empty() && round < config.max_rounds) {
+    if (config.record_active_counts) {
+      result.active_counts.push_back(
+          static_cast<std::int64_t>(alive.size()));
+    }
+
+    // Idle out slots owned by finished nodes, then collect live actions.
+    // (Finished slots keep Action::Idle from initialization or from the
+    // explicit reset below.)
+    for (const NodeId idx : alive) {
+      const auto s = static_cast<std::size_t>(idx);
+      NodeContext& ctx = contexts[s];
+      if (ctx.auto_beacon_ && !beacon_emitted[s]) {
+        actions[s] = mac::Action::Transmit(mac::kPrimaryChannel);
+        beacon_emitted[s] = 1;  // the held action runs next round
+        continue;
+      }
+      actions[s] = ctx.pending_action_;
+      ctx.has_pending_ = false;
+      beacon_emitted[s] = 0;
+    }
+
+    for (const NodeId idx : alive) {
+      const auto s = static_cast<std::size_t>(idx);
+      if (actions[s].channel != mac::kIdleChannel && actions[s].transmit) {
+        ++node_tx[s];
+      }
+    }
+
+    const mac::RoundSummary summary = resolver.Resolve(actions, feedback);
+    result.total_transmissions += summary.total_transmissions;
+    if (config.record_trace) {
+      RoundTrace rt;
+      rt.round = round;
+      for (const mac::ChannelId ch : resolver.touched_channels()) {
+        const mac::ChannelActivity& act = resolver.ActivityOf(ch);
+        rt.events.push_back(
+            ChannelTraceEvent{ch, act.transmitters, act.listeners});
+      }
+      result.trace.push_back(std::move(rt));
+    }
+    if (summary.primary_transmitters == 1) {
+      if (!result.solved) {
+        result.solved = true;
+        result.solved_round = round;
+      }
+      result.all_solved_rounds.push_back(round);
+    }
+    ++round;
+    if (result.solved && config.stop_when_solved) break;
+
+    // Deliver feedback and advance every live coroutine to its next round
+    // request (or completion). A node that spent this round on an engine-
+    // issued beacon is not resumed: its protocol action is still pending.
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < alive.size(); ++read) {
+      const NodeId idx = alive[read];
+      const auto s = static_cast<std::size_t>(idx);
+      NodeContext& ctx = contexts[s];
+      ctx.round_ = round;
+      if (beacon_emitted[s]) {
+        alive[write++] = idx;  // beacon round: protocol runs next round
+        continue;
+      }
+      ctx.feedback_ = feedback[s];
+      CRMC_CHECK(ctx.resume_point_);
+      ctx.resume_point_.resume();
+      auto& task = tasks[s];
+      if (task.Done()) {
+        task.RethrowIfFailed();
+        actions[s] = mac::Action::Idle();
+      } else {
+        CRMC_CHECK_MSG(ctx.has_pending_,
+                       "protocol suspended without submitting a round action");
+        alive[write++] = idx;
+      }
+    }
+    alive.resize(write);
+  }
+
+  result.rounds_executed = round;
+  result.all_terminated = alive.empty();
+  for (const std::int64_t tx : node_tx) {
+    result.max_node_transmissions =
+        std::max(result.max_node_transmissions, tx);
+    result.mean_node_transmissions += static_cast<double>(tx);
+  }
+  result.mean_node_transmissions /= static_cast<double>(config.num_active);
+  if (config.record_node_transmissions) {
+    result.node_transmissions = std::move(node_tx);
+  }
+  result.timed_out = !alive.empty() && round >= config.max_rounds &&
+                     !(result.solved && config.stop_when_solved);
+
+  for (const NodeContext& ctx : contexts) {
+    if (ctx.phase_marks().empty() && ctx.metrics().empty()) continue;
+    NodeReport report;
+    report.index = ctx.index();
+    report.finished =
+        tasks[static_cast<std::size_t>(ctx.index())].Done();
+    report.phase_marks = ctx.phase_marks();
+    report.metrics = ctx.metrics();
+    result.node_reports.push_back(std::move(report));
+  }
+  return result;
+}
+
+}  // namespace crmc::sim

@@ -1,0 +1,107 @@
+// The lockstep round executor.
+//
+// Engine::Run simulates one execution: it activates `num_active` nodes (out
+// of a population of `population` possible nodes), hands each a protocol
+// coroutine, and advances synchronous rounds until the protocol terminates
+// everywhere, the problem is solved (optional), or a round limit is hit.
+//
+// Solved-detection is the model-level ground truth from Section 3 of the
+// paper: the run is solved in the first round in which *exactly one* node
+// transmits on the primary channel, whether or not the protocol knows it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mac/channel.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+#include "sim/trace.h"
+
+namespace crmc::sim {
+
+// Builds the behaviour of one activated node.
+using ProtocolFactory = std::function<ProtocolTask(NodeContext&)>;
+
+struct EngineConfig {
+  // n: the w.h.p. parameter — the maximum number of nodes that might be
+  // activated. Defaults to num_active when left at 0.
+  std::int64_t population = 0;
+  // |A|: how many nodes are actually activated.
+  std::int32_t num_active = 0;
+  // C: number of channels.
+  std::int32_t channels = 1;
+  // Master seed; the run is a pure function of this config.
+  std::uint64_t seed = 1;
+  // Hard stop (protocols like decay run until stopped).
+  std::int64_t max_rounds = 4'000'000;
+  // Stop as soon as contention resolution is solved (the usual metric).
+  bool stop_when_solved = true;
+  // Record the number of still-running nodes at the start of every round
+  // (used by the Reduce-dynamics experiment; costs one int64 per round).
+  bool record_active_counts = false;
+  // Collision-detection capability (Section 3 assumes kStrong; the weaker
+  // models serve the no-CD baselines and the CD-ablation experiment).
+  mac::CdModel cd_model = mac::CdModel::kStrong;
+  // Record per-round channel activity into RunResult::trace.
+  bool record_trace = false;
+  // Record per-node transmission counts into RunResult::node_transmissions
+  // (the summary fields are filled either way).
+  bool record_node_transmissions = false;
+};
+
+// Instrumentation emitted by one node (only nodes that produced any).
+struct NodeReport {
+  NodeId index = 0;
+  bool finished = false;
+  std::map<std::string, std::int64_t> phase_marks;
+  std::vector<std::pair<std::string, std::int64_t>> metrics;
+};
+
+struct RunResult {
+  bool solved = false;
+  // 0-based index of the first round with a lone primary-channel
+  // transmitter; -1 if never solved.
+  std::int64_t solved_round = -1;
+  // Every round with a lone primary-channel transmitter, in order. For
+  // one-shot contention resolution only the first matters; repeated-use
+  // protocols (k-selection) solve once per instance.
+  std::vector<std::int64_t> all_solved_rounds;
+  // Rounds actually executed before the run stopped.
+  std::int64_t rounds_executed = 0;
+  // True if the run stopped because max_rounds was reached.
+  bool timed_out = false;
+  // True if every protocol coroutine ran to completion.
+  bool all_terminated = false;
+  std::int64_t total_transmissions = 0;
+  // Energy accounting: the largest and mean number of transmissions any
+  // single node performed (the radio-network energy metric).
+  std::int64_t max_node_transmissions = 0;
+  double mean_node_transmissions = 0.0;
+  std::vector<std::int64_t> active_counts;  // iff record_active_counts
+  std::vector<std::int64_t> node_transmissions;  // iff requested
+  std::vector<RoundTrace> trace;                 // iff record_trace
+
+  std::vector<NodeReport> node_reports;
+
+  // Largest round recorded for `name` across nodes, or -1 if nobody
+  // marked it. (Phase boundaries in the paper's algorithm are reached by
+  // all surviving nodes in the same round; taking the max is robust to
+  // nodes that went inactive earlier.)
+  std::int64_t LastPhaseMark(const std::string& name) const;
+  // All values recorded under `name`, in node order.
+  std::vector<std::int64_t> MetricValues(const std::string& name) const;
+};
+
+class Engine {
+ public:
+  // Runs one execution. Throws std::invalid_argument on bad config and
+  // propagates exceptions escaping protocol coroutines.
+  static RunResult Run(const EngineConfig& config,
+                       const ProtocolFactory& protocol);
+};
+
+}  // namespace crmc::sim

@@ -1,0 +1,185 @@
+// Coroutine task type used to express protocols.
+//
+// A protocol is an ordinary C++20 coroutine returning Task<T>. The only
+// leaf awaitable is NodeContext::Round(action) — suspending there hands the
+// node's action for the current round to the engine, and resumption delivers
+// the channel feedback. Tasks compose: a step of the paper's algorithm
+// (Reduce, IDReduction, LeafElection) is a Task<StepResult> that a parent
+// protocol simply `co_await`s, so the C++ reads like the paper's pseudocode.
+//
+// Tasks are lazy (start when awaited) and use symmetric transfer for
+// completion, so arbitrarily deep step nesting costs no stack.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace crmc::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed when this task finishes
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool Valid() const { return static_cast<bool>(handle_); }
+  bool Done() const { return !handle_ || handle_.done(); }
+
+  // Resume from outside a coroutine (engine only — for the top-level task).
+  void Resume() {
+    CRMC_CHECK(handle_ && !handle_.done());
+    handle_.resume();
+  }
+
+  // Rethrow any exception that escaped the coroutine body.
+  void RethrowIfFailed() {
+    if (handle_ && handle_.done() && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  // Awaitable interface (start-on-await, symmetric transfer back on finish).
+  bool await_ready() const noexcept { return !handle_ || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  T await_resume() {
+    CRMC_CHECK(handle_);
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    CRMC_CHECK_MSG(handle_.promise().value.has_value(),
+                   "task finished without a co_return value");
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool Valid() const { return static_cast<bool>(handle_); }
+  bool Done() const { return !handle_ || handle_.done(); }
+
+  void Resume() {
+    CRMC_CHECK(handle_ && !handle_.done());
+    handle_.resume();
+  }
+
+  void RethrowIfFailed() {
+    if (handle_ && handle_.done() && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  bool await_ready() const noexcept { return !handle_ || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() {
+    CRMC_CHECK(handle_);
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// A protocol: the full per-node behaviour for a run.
+using ProtocolTask = Task<void>;
+
+}  // namespace crmc::sim

@@ -1,0 +1,56 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <string>
+
+#include "support/assert.h"
+
+namespace crmc::sim {
+
+void RenderTrace(const std::vector<RoundTrace>& trace,
+                 mac::ChannelId max_channel, std::int64_t max_rounds,
+                 std::ostream& os) {
+  CRMC_REQUIRE(max_channel >= 1);
+  CRMC_REQUIRE(max_rounds >= 1);
+
+  // Header: channel labels, tens then units for readability.
+  os << "round |";
+  for (mac::ChannelId ch = 1; ch <= max_channel; ++ch) {
+    os << (ch % 10 == 0 ? std::to_string((ch / 10) % 10) : std::string(" "));
+  }
+  os << "\n      |";
+  for (mac::ChannelId ch = 1; ch <= max_channel; ++ch) {
+    os << ch % 10;
+  }
+  os << "\n------+" << std::string(static_cast<std::size_t>(max_channel), '-')
+     << "\n";
+
+  const auto rows = std::min<std::int64_t>(
+      max_rounds, static_cast<std::int64_t>(trace.size()));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const RoundTrace& rt = trace[static_cast<std::size_t>(r)];
+    std::string row(static_cast<std::size_t>(max_channel), '.');
+    for (const ChannelTraceEvent& ev : rt.events) {
+      if (ev.channel < 1 || ev.channel > max_channel) continue;
+      char mark;
+      if (ev.transmitters >= 2) {
+        mark = 'X';
+      } else if (ev.transmitters == 1) {
+        mark = ev.channel == mac::kPrimaryChannel ? 'M' : 'm';
+      } else {
+        mark = ev.listeners > 0 ? 'l' : '.';
+      }
+      row[static_cast<std::size_t>(ev.channel - 1)] = mark;
+    }
+    os << std::setw(5) << rt.round + 1 << " |" << row << "\n";
+  }
+  if (static_cast<std::int64_t>(trace.size()) > rows) {
+    os << "  ... " << static_cast<std::int64_t>(trace.size()) - rows
+       << " more rounds elided\n";
+  }
+  os << "legend: M lone primary tx (solves), m lone tx, X collision, "
+        "l listeners only, . silence\n";
+}
+
+}  // namespace crmc::sim

@@ -1,0 +1,37 @@
+// Structured execution traces.
+//
+// When EngineConfig::record_trace is set, the engine records what happened
+// on every touched channel in every round. RenderTrace draws the classic
+// rounds-x-channels activity diagram used to illustrate contention
+// resolution executions:
+//   '.' silence (or untouched), 'm' lone transmission, 'X' collision,
+//   'l' listeners only. A lone transmission on channel 1 — the solving
+//   event — is capitalized as 'M'.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "mac/channel.h"
+
+namespace crmc::sim {
+
+struct ChannelTraceEvent {
+  mac::ChannelId channel = 0;
+  std::int32_t transmitters = 0;
+  std::int32_t listeners = 0;
+};
+
+struct RoundTrace {
+  std::int64_t round = 0;
+  std::vector<ChannelTraceEvent> events;  // touched channels only
+};
+
+// Renders rounds (rows) against channels 1..max_channel (columns). Rounds
+// and channels beyond the given caps are elided with a summary line.
+void RenderTrace(const std::vector<RoundTrace>& trace,
+                 mac::ChannelId max_channel, std::int64_t max_rounds,
+                 std::ostream& os);
+
+}  // namespace crmc::sim

@@ -1,0 +1,104 @@
+// Always-on invariant checking for the crmc library.
+//
+// CRMC_CHECK is used for internal invariants whose violation indicates a bug
+// in the library itself; it aborts with a diagnostic. CRMC_REQUIRE is used to
+// validate caller-supplied arguments at API boundaries and throws
+// std::invalid_argument so callers can recover.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace crmc::support {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& detail) {
+  std::fprintf(stderr, "CRMC_CHECK failed: %s at %s:%d %s\n", expr, file, line,
+               detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void RequireFailed(const char* expr, const char* file,
+                                       int line, const std::string& detail) {
+  std::ostringstream os;
+  os << "precondition violated: " << expr << " at " << file << ":" << line;
+  if (!detail.empty()) os << " (" << detail << ")";
+  throw std::invalid_argument(os.str());
+}
+
+// Thrown by CRMC_PROTO_CHECK: a protocol observed channel feedback that is
+// impossible under its assumed model (e.g. a strong-CD algorithm run on a
+// receiver-only-CD network). Recoverable — it aborts the run, not the
+// process.
+class ProtocolAssumptionViolation : public std::logic_error {
+ public:
+  explicit ProtocolAssumptionViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void ProtoCheckFailed(const char* expr, const char* file,
+                                          int line,
+                                          const std::string& detail) {
+  std::ostringstream os;
+  os << "protocol model assumption violated: " << expr << " at " << file
+     << ":" << line;
+  if (!detail.empty()) os << " (" << detail << ")";
+  throw ProtocolAssumptionViolation(os.str());
+}
+
+}  // namespace crmc::support
+
+#define CRMC_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::crmc::support::CheckFailed(#expr, __FILE__, __LINE__, "");       \
+    }                                                                    \
+  } while (false)
+
+#define CRMC_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream crmc_check_os;                                  \
+      crmc_check_os << msg;                                              \
+      ::crmc::support::CheckFailed(#expr, __FILE__, __LINE__,            \
+                                   crmc_check_os.str());                 \
+    }                                                                    \
+  } while (false)
+
+#define CRMC_PROTO_CHECK(expr)                                           \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::crmc::support::ProtoCheckFailed(#expr, __FILE__, __LINE__, "");  \
+    }                                                                    \
+  } while (false)
+
+#define CRMC_PROTO_CHECK_MSG(expr, msg)                                  \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream crmc_proto_os;                                  \
+      crmc_proto_os << msg;                                              \
+      ::crmc::support::ProtoCheckFailed(#expr, __FILE__, __LINE__,       \
+                                        crmc_proto_os.str());            \
+    }                                                                    \
+  } while (false)
+
+#define CRMC_REQUIRE(expr)                                               \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::crmc::support::RequireFailed(#expr, __FILE__, __LINE__, "");     \
+    }                                                                    \
+  } while (false)
+
+#define CRMC_REQUIRE_MSG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream crmc_req_os;                                    \
+      crmc_req_os << msg;                                                \
+      ::crmc::support::RequireFailed(#expr, __FILE__, __LINE__,          \
+                                     crmc_req_os.str());                 \
+    }                                                                    \
+  } while (false)

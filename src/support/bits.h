@@ -1,0 +1,60 @@
+// Small integer/bit helpers used throughout the library.
+//
+// The paper's algorithms are phrased in terms of lg C, lg lg n, powers of
+// two, and tree-level index arithmetic; these helpers centralize that math
+// so every module computes it the same way.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "support/assert.h"
+
+namespace crmc::support {
+
+// floor(log2(x)) for x >= 1.
+constexpr int FloorLog2(std::uint64_t x) {
+  CRMC_CHECK(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+// ceil(log2(x)) for x >= 1. CeilLog2(1) == 0.
+constexpr int CeilLog2(std::uint64_t x) {
+  CRMC_CHECK(x >= 1);
+  return (x == 1) ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+constexpr bool IsPowerOfTwo(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+// Largest power of two <= x, for x >= 1.
+constexpr std::uint64_t FloorPow2(std::uint64_t x) {
+  return std::uint64_t{1} << FloorLog2(x);
+}
+
+// Smallest power of two >= x, for x >= 1.
+constexpr std::uint64_t CeilPow2(std::uint64_t x) {
+  return std::uint64_t{1} << CeilLog2(x);
+}
+
+// ceil(a / b) for a >= 0, b >= 1.
+constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  CRMC_CHECK(a >= 0 && b >= 1);
+  return (a + b - 1) / b;
+}
+
+// ceil(lg lg n): the iteration count used by the Reduce step (Figure 2 of
+// the paper). Defined for n >= 2; n in {2} yields 0 so we clamp to >= 1
+// (a single iteration) to keep the knockout schedule non-degenerate.
+constexpr int CeilLgLg(std::uint64_t n) {
+  CRMC_CHECK(n >= 2);
+  const int lg = CeilLog2(n);
+  const int lglg = CeilLog2(static_cast<std::uint64_t>(lg < 1 ? 1 : lg));
+  return lglg < 1 ? 1 : lglg;
+}
+
+// Natural-log-free helpers for benchmark bookkeeping.
+constexpr double Log2d(double x) { return x <= 1.0 ? 0.0 : __builtin_log2(x); }
+
+}  // namespace crmc::support

@@ -1,0 +1,133 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every node in a simulation owns an independent RandomSource derived from
+// (master seed, node index) via SplitMix64, so a run is a pure function of
+// the engine configuration. The core generator is xoshiro256++ (Blackman &
+// Vigna), implemented from scratch — no std::mt19937 so that results are
+// bit-identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace crmc::support {
+
+// SplitMix64: used for seeding and for cheap stateless mixing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256++ 1.0.
+class Xoshiro256pp {
+ public:
+  explicit Xoshiro256pp(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+// High-level random source with the distributions the protocols need.
+class RandomSource {
+ public:
+  explicit RandomSource(std::uint64_t seed) : gen_(seed) {}
+
+  // Derive an independent stream (e.g., per node) from a master seed.
+  static RandomSource ForStream(std::uint64_t master_seed,
+                                std::uint64_t stream) {
+    SplitMix64 sm(master_seed ^ (0xa0761d6478bd642fULL * (stream + 1)));
+    return RandomSource(sm.Next());
+  }
+
+  std::uint64_t NextU64() { return gen_.Next(); }
+
+  // Uniform integer in [lo, hi], inclusive. Unbiased (Lemire's method).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    CRMC_CHECK(lo <= hi);
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(NextU64());  // full range
+    std::uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < range) {
+      const std::uint64_t threshold = (0 - range) % range;
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * range;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
+
+ private:
+  Xoshiro256pp gen_;
+};
+
+// Sample `k` distinct values from [1, population] uniformly at random.
+// Uses a sparse Fisher–Yates so it is O(k) time/space even for huge
+// populations (used to hand baseline protocols unique IDs from [n]).
+inline std::vector<std::int64_t> SampleWithoutReplacement(
+    std::int64_t population, std::int64_t k, RandomSource& rng) {
+  CRMC_REQUIRE(k >= 0 && k <= population);
+  std::unordered_map<std::int64_t, std::int64_t> swapped;
+  swapped.reserve(static_cast<std::size_t>(k) * 2);
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    const std::int64_t j = rng.UniformInt(i, population - 1);
+    auto it_j = swapped.find(j);
+    const std::int64_t value_j = (it_j == swapped.end()) ? j : it_j->second;
+    auto it_i = swapped.find(i);
+    const std::int64_t value_i = (it_i == swapped.end()) ? i : it_i->second;
+    swapped[j] = value_i;
+    out.push_back(value_j + 1);  // shift to 1-based
+  }
+  return out;
+}
+
+}  // namespace crmc::support

@@ -1,0 +1,139 @@
+// Tests for the collision-detection model variants (Section 2's taxonomy):
+// resolver semantics under each model, and the ablation showing the
+// paper's algorithms rely on *strong* CD specifically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/two_active.h"
+#include "support/assert.h"
+#include "harness/registry.h"
+#include "mac/channel.h"
+#include "mac/resolver.h"
+#include "sim/engine.h"
+
+namespace crmc {
+namespace {
+
+using mac::Action;
+using mac::CdModel;
+using mac::Feedback;
+using mac::Message;
+using mac::Resolver;
+
+std::vector<Feedback> ResolveAll(Resolver& resolver,
+                                 const std::vector<Action>& actions) {
+  std::vector<Feedback> fb;
+  resolver.Resolve(actions, fb);
+  return fb;
+}
+
+TEST(CdModels, ReceiverOnlyBlindsTransmitters) {
+  Resolver r(2, CdModel::kReceiverOnly);
+  // Lone transmitter: receivers get the message, the transmitter nothing.
+  auto fb = ResolveAll(r, {Action::Transmit(1, Message{9}),
+                           Action::Listen(1)});
+  EXPECT_TRUE(fb[0].Silence());  // transmitter learns nothing
+  EXPECT_TRUE(fb[1].MessageHeard());
+  EXPECT_EQ(fb[1].message.payload, 9u);
+  // Collision: receivers do detect it.
+  fb = ResolveAll(r, {Action::Transmit(1), Action::Transmit(1),
+                      Action::Listen(1)});
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_TRUE(fb[1].Silence());
+  EXPECT_TRUE(fb[2].Collision());
+}
+
+TEST(CdModels, NoCdCollisionsReadAsSilence) {
+  Resolver r(2, CdModel::kNone);
+  auto fb = ResolveAll(r, {Action::Transmit(1), Action::Transmit(1),
+                           Action::Listen(1)});
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_TRUE(fb[1].Silence());
+  EXPECT_TRUE(fb[2].Silence());  // collision indistinguishable from idle
+  // A clean message still gets through.
+  fb = ResolveAll(r, {Action::Transmit(2, Message{5}), Action::Listen(2)});
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_TRUE(fb[1].MessageHeard());
+}
+
+TEST(CdModels, SolvedDetectionIsModelIndependent) {
+  // "Solved" is defined by transmissions, not by what nodes perceive.
+  for (const CdModel model :
+       {CdModel::kStrong, CdModel::kReceiverOnly, CdModel::kNone}) {
+    sim::EngineConfig config;
+    config.num_active = 1;
+    config.channels = 1;
+    config.seed = 1;
+    config.cd_model = model;
+    const sim::RunResult r = sim::Engine::Run(
+        config, [](sim::NodeContext& ctx) -> sim::ProtocolTask {
+          co_await ctx.Transmit(mac::kPrimaryChannel);
+        });
+    EXPECT_TRUE(r.solved) << ToString(model);
+    EXPECT_EQ(r.solved_round, 0);
+  }
+}
+
+// The ablation: TwoActive needs transmitter-side CD. Under receiver-only
+// CD a transmitter reads its own transmission back as silence — feedback
+// that is impossible in the model the algorithm was designed for — and the
+// protocol detects the broken assumption and aborts the run. Under strong
+// CD the same seeds always solve.
+TEST(CdAblation, TwoActiveRequiresStrongCd) {
+  constexpr int kSeeds = 40;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    sim::EngineConfig config;
+    config.num_active = 2;
+    config.population = 1 << 16;
+    config.channels = 64;
+    config.seed = seed;
+    config.max_rounds = 200;  // ~20x the strong-CD completion time
+    config.cd_model = CdModel::kStrong;
+    EXPECT_TRUE(sim::Engine::Run(config, core::MakeTwoActive()).solved)
+        << "seed=" << seed;
+    config.cd_model = CdModel::kReceiverOnly;
+    EXPECT_THROW(sim::Engine::Run(config, core::MakeTwoActive()),
+                 support::ProtocolAssumptionViolation)
+        << "seed=" << seed;
+  }
+}
+
+// The no-CD baselines only act on clean messages, so degrading the model
+// from strong CD to none must not change their behaviour at all.
+TEST(CdModels, NoCdBaselinesAreModelOblivious) {
+  for (const char* name : {"decay_no_cd", "daum_multichannel_no_cd",
+                           "expected_o1_multichannel"}) {
+    const auto factory = harness::AlgorithmByName(name).make();
+    sim::EngineConfig config;
+    config.num_active = 50;
+    config.population = 1 << 10;
+    config.channels = 16;
+    config.seed = 77;
+    config.max_rounds = 500000;
+    config.cd_model = CdModel::kStrong;
+    const sim::RunResult strong = sim::Engine::Run(config, factory);
+    config.cd_model = CdModel::kNone;
+    const sim::RunResult none = sim::Engine::Run(config, factory);
+    EXPECT_EQ(strong.solved_round, none.solved_round) << name;
+    EXPECT_EQ(strong.total_transmissions, none.total_transmissions) << name;
+  }
+}
+
+TEST(CdModels, NoCdStillSolvableByDecay) {
+  sim::EngineConfig config;
+  config.num_active = 100;
+  config.population = 1 << 10;
+  config.channels = 1;
+  config.cd_model = CdModel::kNone;
+  config.max_rounds = 500000;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    config.seed = seed;
+    const sim::RunResult r = sim::Engine::Run(
+        config, harness::AlgorithmByName("decay_no_cd").make());
+    ASSERT_TRUE(r.solved) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace crmc

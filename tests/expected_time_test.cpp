@@ -1,0 +1,128 @@
+// Tests for the expected-time algorithms (Willard's density search and the
+// expected-O(1) multichannel lottery the paper's conclusion references).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "core/reduce.h"
+#include "harness/runner.h"
+#include "sim/engine.h"
+
+namespace crmc::baselines {
+namespace {
+
+sim::RunResult RunOnce(const sim::ProtocolFactory& factory,
+                       std::int32_t num_active, std::int64_t population,
+                       std::int32_t channels, std::uint64_t seed,
+                       bool stop_when_solved = true) {
+  sim::EngineConfig config;
+  config.num_active = num_active;
+  config.population = population;
+  config.channels = channels;
+  config.seed = seed;
+  config.stop_when_solved = stop_when_solved;
+  config.max_rounds = 2'000'000;
+  return sim::Engine::Run(config, factory);
+}
+
+class WillardSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(WillardSweep, SolvesAndSelfTerminates) {
+  const std::int32_t num_active = GetParam();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const sim::RunResult r = RunOnce(MakeWillardCd(), num_active, 1 << 14,
+                                     1, seed, /*stop=*/false);
+    ASSERT_TRUE(r.solved) << "seed=" << seed;
+    ASSERT_TRUE(r.all_terminated) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WillardSweep,
+                         ::testing::Values(1, 2, 3, 17, 300, 8192));
+
+TEST(Willard, ExpectedTimeBeatsKnockoutAtScale) {
+  // Willard's density search is O(loglog n) expected; the knockout needs
+  // ~lg |A| halvings. At |A| = 2^14 the gap is decisive in the mean.
+  harness::TrialSpec spec;
+  spec.population = 1 << 14;
+  spec.num_active = 1 << 14;
+  spec.channels = 1;
+  const double willard =
+      harness::MeanSolvedRounds(spec, MakeWillardCd(), 60);
+  const double knockout =
+      harness::MeanSolvedRounds(spec, core::MakeKnockoutCd(), 60);
+  EXPECT_LT(willard, knockout);
+  EXPECT_LE(willard, 12.0);  // ~ a couple of lglg(2^14) ~ 4-round searches
+}
+
+class ExpectedO1Sweep
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int32_t>> {
+};
+
+TEST_P(ExpectedO1Sweep, SolvesForAllSizes) {
+  const auto [num_active, channels] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const sim::RunResult r = RunOnce(MakeExpectedO1Multichannel(),
+                                     num_active, 1 << 14, channels, seed);
+    ASSERT_TRUE(r.solved)
+        << "|A|=" << num_active << " C=" << channels << " seed=" << seed;
+  }
+}
+
+// The scheme needs ~lg |A| channels (the conclusion's "as few as log n
+// channels"); pairs with C below that are excluded — there is no level a
+// lone shouter can own, so the expected time genuinely diverges.
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExpectedO1Sweep,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 1),
+                      std::make_tuple(2, 4), std::make_tuple(5, 4),
+                      std::make_tuple(5, 16), std::make_tuple(100, 16),
+                      std::make_tuple(100, 64), std::make_tuple(5000, 16),
+                      std::make_tuple(5000, 64)));
+
+TEST(ExpectedO1, MeanIsFlatInPopulation) {
+  // The conclusion's point: expected time is O(1) — independent of n —
+  // once ~lg n channels exist. Means across three decades of |A| should
+  // stay within a small constant band.
+  harness::TrialSpec spec;
+  spec.channels = 20;
+  constexpr int kTrials = 300;
+  double means[3];
+  int i = 0;
+  for (const std::int32_t a : {64, 1024, 16384}) {
+    spec.population = 1 << 16;
+    spec.num_active = a;
+    means[i++] =
+        harness::MeanSolvedRounds(spec, MakeExpectedO1Multichannel(),
+                                  kTrials);
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_LE(means[j], 40.0) << "mean " << j << " = " << means[j];
+  }
+  EXPECT_LE(std::abs(means[0] - means[2]), 25.0)
+      << means[0] << " vs " << means[2];
+}
+
+TEST(ExpectedO1, ExpectedVersusWhpTradeoff) {
+  // Expected-time algorithms pay at the tail: the p99 / mean ratio should
+  // be much larger than for the w.h.p.-bounded knockout.
+  harness::TrialSpec spec;
+  spec.population = 1 << 12;
+  spec.num_active = 1 << 12;
+  spec.channels = 16;
+  constexpr int kTrials = 400;
+  const harness::TrialSetResult fast =
+      harness::RunTrials(spec, MakeExpectedO1Multichannel(), kTrials);
+  spec.channels = 1;
+  const harness::TrialSetResult knockout =
+      harness::RunTrials(spec, core::MakeKnockoutCd(), kTrials);
+  ASSERT_EQ(fast.unsolved, 0);
+  ASSERT_EQ(knockout.unsolved, 0);
+  const double fast_ratio = fast.summary.p99 / fast.summary.mean;
+  const double knockout_ratio = knockout.summary.p99 / knockout.summary.mean;
+  EXPECT_GT(fast_ratio, knockout_ratio);
+}
+
+}  // namespace
+}  // namespace crmc::baselines

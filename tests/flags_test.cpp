@@ -1,0 +1,81 @@
+// Tests for the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/flags.h"
+
+namespace crmc::harness {
+namespace {
+
+Flags ParseArgs(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsAndSpaceSyntax) {
+  const Flags f = ParseArgs({"--a=1", "--b", "2", "--c", "hello"});
+  EXPECT_EQ(f.GetIntOr("a", 0), 1);
+  EXPECT_EQ(f.GetIntOr("b", 0), 2);
+  EXPECT_EQ(f.GetStringOr("c", ""), "hello");
+}
+
+TEST(Flags, BooleanForms) {
+  const Flags f =
+      ParseArgs({"--x", "--y=true", "--z=false", "--w", "--v=1"});
+  EXPECT_TRUE(f.GetBoolOr("x", false));
+  EXPECT_TRUE(f.GetBoolOr("y", false));
+  EXPECT_FALSE(f.GetBoolOr("z", true));
+  EXPECT_TRUE(f.GetBoolOr("w", false));
+  EXPECT_TRUE(f.GetBoolOr("v", false));
+  EXPECT_FALSE(f.GetBoolOr("absent", false));
+  EXPECT_THROW((void)ParseArgs({"--b=yes"}).GetBoolOr("b", false),
+               std::invalid_argument);
+}
+
+TEST(Flags, BareFlagFollowedByFlagIsBoolean) {
+  const Flags f = ParseArgs({"--verbose", "--count=3"});
+  EXPECT_TRUE(f.GetBoolOr("verbose", false));
+  EXPECT_EQ(f.GetIntOr("count", 0), 3);
+}
+
+TEST(Flags, Positional) {
+  const Flags f = ParseArgs({"cmd", "--n=5", "target"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "cmd");
+  EXPECT_EQ(f.positional()[1], "target");
+}
+
+TEST(Flags, TypeErrors) {
+  const Flags f = ParseArgs({"--n=abc", "--d=1.5x"});
+  EXPECT_THROW(f.GetIntOr("n", 0), std::invalid_argument);
+  EXPECT_THROW(f.GetDoubleOr("d", 0.0), std::invalid_argument);
+}
+
+TEST(Flags, Doubles) {
+  const Flags f = ParseArgs({"--q=0.95"});
+  EXPECT_DOUBLE_EQ(f.GetDoubleOr("q", 0.0), 0.95);
+  EXPECT_DOUBLE_EQ(f.GetDoubleOr("missing", 0.5), 0.5);
+}
+
+TEST(Flags, MalformedFlagRejected) {
+  EXPECT_THROW(ParseArgs({"--=x"}), std::invalid_argument);
+  EXPECT_THROW(ParseArgs({"--"}), std::invalid_argument);
+}
+
+TEST(Flags, UnconsumedTracking) {
+  const Flags f = ParseArgs({"--used=1", "--typo=2"});
+  (void)f.GetIntOr("used", 0);
+  const auto unknown = f.UnconsumedFlags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, LastValueWins) {
+  const Flags f = ParseArgs({"--n=1", "--n=2"});
+  EXPECT_EQ(f.GetIntOr("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace crmc::harness

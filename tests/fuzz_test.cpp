@@ -1,0 +1,178 @@
+// Differential and randomized fuzz tests.
+//
+// 1. Resolver vs a naive reference implementation, over random action
+//    batches and every CD model.
+// 2. Random protocols through the engine: invariants (feedback validity,
+//    conservation of transmissions, solved definition, determinism) must
+//    hold for arbitrary well-formed behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "mac/channel.h"
+#include "mac/resolver.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace crmc {
+namespace {
+
+using mac::Action;
+using mac::CdModel;
+using mac::Feedback;
+using mac::Message;
+using mac::Observation;
+
+// Straight-line reference semantics from Section 3 of the paper.
+std::vector<Feedback> ReferenceResolve(const std::vector<Action>& actions,
+                                       CdModel model) {
+  std::map<mac::ChannelId, std::vector<std::size_t>> transmitters;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (actions[i].channel != mac::kIdleChannel && actions[i].transmit) {
+      transmitters[actions[i].channel].push_back(i);
+    }
+  }
+  std::vector<Feedback> out(actions.size());
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const Action& a = actions[i];
+    if (a.channel == mac::kIdleChannel) continue;
+    const auto it = transmitters.find(a.channel);
+    const std::size_t count = it == transmitters.end() ? 0 : it->second.size();
+    Feedback fb;
+    if (count == 0) {
+      fb.observation = Observation::kSilence;
+    } else if (count == 1) {
+      fb.observation = Observation::kMessage;
+      fb.message = actions[it->second.front()].message;
+    } else {
+      fb.observation = Observation::kCollision;
+    }
+    if (model == CdModel::kReceiverOnly && a.transmit) fb = Feedback{};
+    if (model == CdModel::kNone) {
+      if (a.transmit || fb.observation == Observation::kCollision) {
+        fb = Feedback{};
+      }
+    }
+    out[i] = fb;
+  }
+  return out;
+}
+
+TEST(ResolverFuzz, MatchesReferenceAcrossModelsAndBatches) {
+  support::RandomSource rng(0xf022);
+  mac::Resolver strong(16, CdModel::kStrong);
+  mac::Resolver receiver(16, CdModel::kReceiverOnly);
+  mac::Resolver none(16, CdModel::kNone);
+  std::vector<Feedback> got;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(1, 40));
+    std::vector<Action> actions(n);
+    for (Action& a : actions) {
+      const std::int64_t kind = rng.UniformInt(0, 3);
+      if (kind == 0) {
+        a = Action::Idle();
+      } else if (kind == 1) {
+        a = Action::Listen(
+            static_cast<mac::ChannelId>(rng.UniformInt(1, 16)));
+      } else {
+        a = Action::Transmit(
+            static_cast<mac::ChannelId>(rng.UniformInt(1, 16)),
+            Message{rng.NextU64() % 1000});
+      }
+    }
+    for (auto* resolver : {&strong, &receiver, &none}) {
+      resolver->Resolve(actions, got);
+      const auto expected = ReferenceResolve(actions, resolver->cd_model());
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(static_cast<int>(got[i].observation),
+                  static_cast<int>(expected[i].observation))
+            << "trial=" << trial << " node=" << i << " model="
+            << ToString(resolver->cd_model());
+        if (got[i].observation == Observation::kMessage) {
+          ASSERT_EQ(got[i].message.payload, expected[i].message.payload);
+        }
+      }
+    }
+  }
+}
+
+// A protocol driven by its own RNG: every round, pick idle/listen/transmit
+// on a random channel; terminate after a random number of rounds. The
+// engine must uphold its invariants for any such behaviour.
+sim::Task<void> ChaoticProtocol(sim::NodeContext& ctx) {
+  const std::int64_t lifetime = ctx.rng().UniformInt(1, 60);
+  std::int64_t observed_messages = 0;
+  for (std::int64_t r = 0; r < lifetime; ++r) {
+    const std::int64_t kind = ctx.rng().UniformInt(0, 2);
+    Feedback fb;
+    if (kind == 0) {
+      fb = co_await ctx.Sleep();
+      if (!fb.Silence()) throw std::logic_error("idle must observe nothing");
+    } else if (kind == 1) {
+      fb = co_await ctx.Listen(
+          static_cast<mac::ChannelId>(ctx.rng().UniformInt(1, ctx.channels())));
+    } else {
+      fb = co_await ctx.Transmit(
+          static_cast<mac::ChannelId>(ctx.rng().UniformInt(1, ctx.channels())),
+          Message{static_cast<std::uint64_t>(ctx.index())});
+      if (fb.Silence()) {
+        throw std::logic_error("a transmitter's channel cannot be silent");
+      }
+    }
+    if (fb.MessageHeard()) ++observed_messages;
+  }
+  ctx.RecordMetric("messages", observed_messages);
+}
+
+TEST(EngineFuzz, InvariantsHoldUnderChaoticProtocols) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    sim::EngineConfig config;
+    config.num_active = 30;
+    config.channels = 8;
+    config.seed = seed;
+    config.stop_when_solved = false;
+    config.record_node_transmissions = true;
+    const sim::RunResult r = sim::Engine::Run(
+        config, [](sim::NodeContext& ctx) { return ChaoticProtocol(ctx); });
+    ASSERT_TRUE(r.all_terminated);
+    // Conservation: per-node counts sum to the total.
+    std::int64_t sum = 0;
+    for (const auto tx : r.node_transmissions) sum += tx;
+    ASSERT_EQ(sum, r.total_transmissions);
+    ASSERT_LE(r.max_node_transmissions, r.rounds_executed);
+    // solved_round consistency.
+    if (r.solved) {
+      ASSERT_GE(r.solved_round, 0);
+      ASSERT_LT(r.solved_round, r.rounds_executed);
+    } else {
+      ASSERT_EQ(r.solved_round, -1);
+    }
+  }
+}
+
+TEST(EngineFuzz, ChaoticRunsAreDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto run = [&] {
+      sim::EngineConfig config;
+      config.num_active = 25;
+      config.channels = 6;
+      config.seed = seed;
+      config.stop_when_solved = false;
+      return sim::Engine::Run(config, [](sim::NodeContext& ctx) {
+        return ChaoticProtocol(ctx);
+      });
+    };
+    const sim::RunResult a = run();
+    const sim::RunResult b = run();
+    ASSERT_EQ(a.total_transmissions, b.total_transmissions);
+    ASSERT_EQ(a.rounds_executed, b.rounds_executed);
+    ASSERT_EQ(a.solved_round, b.solved_round);
+    ASSERT_EQ(a.MetricValues("messages"), b.MetricValues("messages"));
+  }
+}
+
+}  // namespace
+}  // namespace crmc

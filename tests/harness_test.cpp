@@ -1,0 +1,208 @@
+// Tests for the experiment harness: stats, runner, tables, registry.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "harness/registry.h"
+#include "harness/runner.h"
+#include "harness/stats.h"
+#include "harness/table.h"
+
+namespace crmc::harness {
+namespace {
+
+TEST(Stats, SummaryOfKnownValues) {
+  const Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 5);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Stats, SummaryHandlesEmptyAndSingleton) {
+  const Summary empty = Summarize({});
+  EXPECT_EQ(empty.count, 0);
+  const Summary one = Summarize({7});
+  EXPECT_EQ(one.count, 1);
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.p95, 7.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({0, 10}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({0, 10, 20, 30}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({0, 10, 20, 30}, 1.0), 30.0);
+  EXPECT_THROW(Quantile({1}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, UnorderedInputIsSorted) {
+  const Summary s = Summarize({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_EQ(s.min, 1);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.5 * i + 7.0);
+  }
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Stats, LinearFitDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(FitLinear({}, {}).slope, 0.0);
+  EXPECT_DOUBLE_EQ(FitLinear({1.0}, {2.0}).slope, 0.0);
+  // Vertical data (all x equal) cannot be fit.
+  EXPECT_DOUBLE_EQ(FitLinear({3.0, 3.0}, {1.0, 2.0}).slope, 0.0);
+  EXPECT_THROW(FitLinear({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Stats, BootstrapCiCoversTheMean) {
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 500; ++i) values.push_back(10 + (i % 5));
+  const ConfidenceInterval ci = BootstrapMeanCi(values);
+  EXPECT_LT(ci.lower, 12.0);
+  EXPECT_GT(ci.upper, 12.0);
+  EXPECT_LT(ci.upper - ci.lower, 1.0);  // tight for 500 near-constant values
+}
+
+TEST(Stats, BootstrapCiDegenerateInputs) {
+  const ConfidenceInterval empty = BootstrapMeanCi({});
+  EXPECT_DOUBLE_EQ(empty.lower, 0.0);
+  EXPECT_DOUBLE_EQ(empty.upper, 0.0);
+  const ConfidenceInterval one = BootstrapMeanCi({7});
+  EXPECT_DOUBLE_EQ(one.lower, 7.0);
+  EXPECT_DOUBLE_EQ(one.upper, 7.0);
+  EXPECT_THROW(BootstrapMeanCi({1, 2}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, BootstrapCiIsDeterministic) {
+  std::vector<std::int64_t> values{1, 5, 9, 2, 8, 4, 7};
+  const ConfidenceInterval a = BootstrapMeanCi(values);
+  const ConfidenceInterval b = BootstrapMeanCi(values);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Stats, AsciiHistogramShapes) {
+  const std::string h = AsciiHistogram({1, 1, 1, 2, 2, 9}, 3, 10);
+  // Three bins covering 1..9; the first (values 1 and 2) holds 5 entries.
+  EXPECT_NE(h.find("##########"), std::string::npos);  // peak bin full bar
+  EXPECT_NE(h.find(" 5\n"), std::string::npos);
+  EXPECT_NE(h.find(" 1\n"), std::string::npos);
+  EXPECT_EQ(AsciiHistogram({}), "(no data)\n");
+  // Single-value input collapses to one bin.
+  const std::string single = AsciiHistogram({4, 4, 4});
+  EXPECT_NE(single.find(" 3\n"), std::string::npos);
+}
+
+TEST(Table, PrintHonoursCrmcOutputEnv) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  {
+    ::setenv("CRMC_OUTPUT", "csv", 1);
+    std::ostringstream os;
+    t.Print(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+    ::unsetenv("CRMC_OUTPUT");
+  }
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("|"), std::string::npos);  // markdown
+}
+
+TEST(Table, MarkdownLayout) {
+  Table t({"n", "C", "rounds"});
+  t.AddRow({"1024", "16", "12.50"});
+  std::ostringstream os;
+  t.PrintMarkdown(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| n"), std::string::npos);
+  EXPECT_NE(out.find("12.50"), std::string::npos);
+  EXPECT_NE(out.find("|------"), std::string::npos);
+}
+
+TEST(Table, CsvLayout) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RowScopeCommitsOnDestruction) {
+  Table t({"x", "y"});
+  { Table::RowScope(t).Cells(std::int64_t{5}, 2.5); }
+  EXPECT_EQ(t.num_rows(), 1u);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n5,2.50\n");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Runner, CollectsSolvedRounds) {
+  TrialSpec spec;
+  spec.num_active = 2;
+  spec.population = 1 << 10;
+  spec.channels = 16;
+  const TrialSetResult r =
+      RunTrials(spec, AlgorithmByName("two_active").make(), 20);
+  EXPECT_EQ(r.unsolved, 0);
+  EXPECT_EQ(r.summary.count, 20);
+  EXPECT_GE(r.summary.min, 1);
+}
+
+TEST(Runner, SingleThreadMatchesMultiThread) {
+  TrialSpec spec;
+  spec.num_active = 2;
+  spec.population = 1 << 10;
+  spec.channels = 16;
+  const auto factory = AlgorithmByName("two_active").make();
+  const TrialSetResult a = RunTrials(spec, factory, 16, false, 1);
+  const TrialSetResult b = RunTrials(spec, factory, 16, false, 8);
+  EXPECT_EQ(Summarize(a.solved_rounds).mean, Summarize(b.solved_rounds).mean);
+}
+
+TEST(Runner, KeepRunsRetainsResults) {
+  TrialSpec spec;
+  spec.num_active = 2;
+  spec.population = 256;
+  spec.channels = 8;
+  const TrialSetResult r =
+      RunTrials(spec, AlgorithmByName("two_active").make(), 5, true);
+  EXPECT_EQ(r.runs.size(), 5u);
+}
+
+TEST(Registry, AllAlgorithmsListedAndConstructible) {
+  EXPECT_GE(Algorithms().size(), 9u);
+  for (const AlgorithmInfo& info : Algorithms()) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty());
+    ASSERT_NE(info.make, nullptr);
+    EXPECT_TRUE(static_cast<bool>(info.make()));  // factory is callable
+  }
+}
+
+TEST(Registry, LookupByName) {
+  EXPECT_EQ(AlgorithmByName("general").name, "general");
+  EXPECT_TRUE(AlgorithmByName("two_active").requires_two_active);
+  EXPECT_TRUE(AlgorithmByName("aloha_oracle").oracle);
+  EXPECT_THROW(AlgorithmByName("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crmc::harness

@@ -1,0 +1,174 @@
+// Tests for the IDReduction step (Section 5.2, Theorem 6) and an empirical
+// check of the balls-in-bins lemma (Lemma 9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/channel_budget.h"
+#include "core/id_reduction.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace crmc::core {
+namespace {
+
+sim::RunResult RunIdrOnly(std::int32_t num_active, std::int64_t population,
+                          std::int32_t channels, std::uint64_t seed) {
+  sim::EngineConfig config;
+  config.num_active = num_active;
+  config.population = population;
+  config.channels = channels;
+  config.seed = seed;
+  config.stop_when_solved = false;
+  config.max_rounds = 500000;
+  return sim::Engine::Run(config, MakeIdReductionOnly());
+}
+
+struct IdrOutcome {
+  std::vector<std::int64_t> ids;      // adopted unique IDs
+  std::int64_t renamed_round = -1;    // round the renaming was confirmed
+  bool leader = false;                // some node won via a reduction round
+};
+
+IdrOutcome Inspect(const sim::RunResult& r) {
+  IdrOutcome out;
+  for (const auto& report : r.node_reports) {
+    auto mark = report.phase_marks.find("idr_renamed");
+    if (mark != report.phase_marks.end()) {
+      out.renamed_round = std::max(out.renamed_round, mark->second);
+    }
+    if (report.phase_marks.count("idr_leader")) out.leader = true;
+    for (const auto& [key, value] : report.metrics) {
+      if (key == "idr_id") out.ids.push_back(value);
+    }
+  }
+  return out;
+}
+
+class IdReductionSweep
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int32_t>> {
+};
+
+TEST_P(IdReductionSweep, RenamesWithDistinctIdsInRange) {
+  const auto [num_active, channels] = GetParam();
+  const std::int32_t half =
+      EffectiveChannels(channels, /*population=*/1 << 20) / 2;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const sim::RunResult r = RunIdrOnly(num_active, 1 << 20, channels, seed);
+    ASSERT_TRUE(r.all_terminated) << "seed=" << seed;
+    const IdrOutcome out = Inspect(r);
+    if (out.leader) {
+      // A reduction round produced a lone transmitter; the problem is
+      // solved and no renaming is required.
+      ASSERT_TRUE(r.solved);
+      continue;
+    }
+    ASSERT_GE(out.ids.size(), 1u) << "seed=" << seed;
+    ASSERT_LE(static_cast<std::int32_t>(out.ids.size()), half);
+    std::set<std::int64_t> distinct(out.ids.begin(), out.ids.end());
+    EXPECT_EQ(distinct.size(), out.ids.size()) << "duplicate IDs";
+    for (const auto id : out.ids) {
+      EXPECT_GE(id, 1);
+      EXPECT_LE(id, half);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IdReductionSweep,
+    ::testing::Combine(::testing::Values<std::int32_t>(1, 2, 5, 20, 60),
+                       ::testing::Values<std::int32_t>(8, 32, 128, 1024)));
+
+TEST(IdReduction, AllSurvivorsFinishSameRound) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const sim::RunResult r = RunIdrOnly(24, 1 << 16, 64, seed);
+    std::set<std::int64_t> rounds;
+    for (const auto& report : r.node_reports) {
+      auto mark = report.phase_marks.find("idr_renamed");
+      if (mark != report.phase_marks.end()) rounds.insert(mark->second);
+    }
+    if (!rounds.empty()) {
+      EXPECT_EQ(rounds.size(), 1u)
+          << "survivors left IDReduction in different rounds, seed=" << seed;
+    }
+  }
+}
+
+TEST(IdReduction, SingleNodeRenamesImmediatelyAndSolves) {
+  // |A| = 1: alone on any channel, and its confirmation broadcast is a lone
+  // primary transmission.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const sim::RunResult r = RunIdrOnly(1, 1 << 10, 32, seed);
+    EXPECT_TRUE(r.solved);
+    EXPECT_EQ(r.solved_round, 1);  // the confirm round of the first pair
+  }
+}
+
+TEST(IdReduction, PaperKnockDivisorStillTerminates) {
+  IdReductionParams params;
+  params.knock_divisor = 144.0;  // the paper's constant (k clamps to 2)
+  sim::EngineConfig config;
+  config.num_active = 40;
+  config.population = 1 << 16;
+  config.channels = 256;
+  config.stop_when_solved = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    config.seed = seed;
+    const sim::RunResult r =
+        sim::Engine::Run(config, MakeIdReductionOnly(params));
+    EXPECT_TRUE(r.all_terminated) << "seed=" << seed;
+  }
+}
+
+TEST(IdReduction, RequiresEnoughChannels) {
+  sim::EngineConfig config;
+  config.num_active = 4;
+  config.channels = 2;
+  config.seed = 1;
+  // RunIdReduction demands >= 4 effective channels.
+  EXPECT_THROW(
+      sim::Engine::Run(config,
+                       [](sim::NodeContext& ctx) -> sim::ProtocolTask {
+                         (void)co_await RunIdReduction(ctx, 2,
+                                                       IdReductionParams{});
+                       }),
+      std::invalid_argument);
+}
+
+// --- Lemma 9 (balls in bins), checked by direct Monte Carlo -----------------
+
+TEST(BallsInBins, LonelyBallProbabilityMatchesLemma9) {
+  // Throw b balls into m bins with b = m/beta, beta >= 3. Lemma 9: the
+  // probability that NO ball is alone is < 2^(-b/2).
+  support::RandomSource rng(555);
+  const std::int64_t m = 240;
+  for (const std::int64_t beta : {3, 6, 12}) {
+    const std::int64_t b = m / beta;
+    const int trials = 20000;
+    int no_lonely = 0;
+    std::vector<int> bins(static_cast<std::size_t>(m));
+    for (int t = 0; t < trials; ++t) {
+      std::fill(bins.begin(), bins.end(), 0);
+      for (std::int64_t i = 0; i < b; ++i) {
+        ++bins[static_cast<std::size_t>(rng.UniformInt(0, m - 1))];
+      }
+      bool lonely = false;
+      for (const int count : bins) {
+        if (count == 1) {
+          lonely = true;
+          break;
+        }
+      }
+      if (!lonely) ++no_lonely;
+    }
+    const double rate = static_cast<double>(no_lonely) / trials;
+    const double bound = std::pow(2.0, -static_cast<double>(b) / 2.0);
+    EXPECT_LE(rate, std::max(bound, 5.0 / trials))
+        << "beta=" << beta << " b=" << b;
+  }
+}
+
+}  // namespace
+}  // namespace crmc::core

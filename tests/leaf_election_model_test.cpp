@@ -1,0 +1,118 @@
+// The strongest LeafElection correctness test: the MAC simulation — with
+// all of its channel choreography, row broadcasts, and cohort bookkeeping —
+// must agree exactly with the pure reference model of the Section 5.3
+// cohort dynamics, on every subset of a small tree and on random subsets of
+// large trees.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/leaf_election.h"
+#include "core/leaf_election_model.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace crmc::core {
+namespace {
+
+struct Observed {
+  std::int32_t winner_leaf = 0;
+  std::int64_t phases = 0;
+};
+
+Observed Simulate(const std::vector<std::int32_t>& leaves,
+                  std::int32_t num_leaves) {
+  sim::EngineConfig config;
+  config.num_active = static_cast<std::int32_t>(leaves.size());
+  config.population = std::max<std::int64_t>(
+      static_cast<std::int64_t>(leaves.size()), num_leaves);
+  config.channels = 2 * num_leaves - 1;
+  config.seed = 1;
+  config.stop_when_solved = false;
+  config.max_rounds = 200000;
+  const sim::RunResult r =
+      sim::Engine::Run(config, MakeLeafElectionOnly(leaves, num_leaves, {}));
+  Observed out;
+  for (const auto& report : r.node_reports) {
+    for (const auto& [key, value] : report.metrics) {
+      if (key == "le_winner_leaf") {
+        out.winner_leaf = static_cast<std::int32_t>(value);
+      }
+      if (key == "le_phases") out.phases = value;
+    }
+  }
+  return out;
+}
+
+TEST(LeafElectionModel, MatchesSimulationExhaustivelyOn16Leaves) {
+  constexpr std::int32_t kLeaves = 16;
+  for (unsigned mask = 1; mask < (1u << kLeaves); mask += 7) {
+    // Step 7 covers 9362 of the 65535 subsets, including all densities.
+    std::vector<std::int32_t> leaves;
+    for (std::int32_t leaf = 1; leaf <= kLeaves; ++leaf) {
+      if (mask & (1u << (leaf - 1))) leaves.push_back(leaf);
+    }
+    const LeafElectionPrediction predicted =
+        PredictLeafElection(leaves, kLeaves);
+    const Observed observed = Simulate(leaves, kLeaves);
+    ASSERT_EQ(observed.winner_leaf, predicted.winner_leaf)
+        << "mask=" << mask;
+    ASSERT_EQ(observed.phases, predicted.phases) << "mask=" << mask;
+  }
+}
+
+TEST(LeafElectionModel, MatchesSimulationExhaustivelyOnAllSubsetsOf8) {
+  constexpr std::int32_t kLeaves = 8;
+  for (unsigned mask = 1; mask < (1u << kLeaves); ++mask) {
+    std::vector<std::int32_t> leaves;
+    for (std::int32_t leaf = 1; leaf <= kLeaves; ++leaf) {
+      if (mask & (1u << (leaf - 1))) leaves.push_back(leaf);
+    }
+    const LeafElectionPrediction predicted =
+        PredictLeafElection(leaves, kLeaves);
+    const Observed observed = Simulate(leaves, kLeaves);
+    ASSERT_EQ(observed.winner_leaf, predicted.winner_leaf)
+        << "mask=" << mask;
+    ASSERT_EQ(observed.phases, predicted.phases) << "mask=" << mask;
+  }
+}
+
+TEST(LeafElectionModel, MatchesSimulationOnRandomLargeTrees) {
+  support::RandomSource rng(0xfeed);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::int32_t num_leaves = 1 << rng.UniformInt(3, 10);  // 8..1024
+    const auto count =
+        static_cast<std::int64_t>(rng.UniformInt(1, std::min(num_leaves, 300)));
+    const auto sample =
+        support::SampleWithoutReplacement(num_leaves, count, rng);
+    const std::vector<std::int32_t> leaves(sample.begin(), sample.end());
+    const LeafElectionPrediction predicted =
+        PredictLeafElection(leaves, num_leaves);
+    const Observed observed = Simulate(leaves, num_leaves);
+    ASSERT_EQ(observed.winner_leaf, predicted.winner_leaf)
+        << "trial=" << trial << " L=" << num_leaves << " x=" << count;
+    ASSERT_EQ(observed.phases, predicted.phases) << "trial=" << trial;
+  }
+}
+
+TEST(LeafElectionModel, SingleLeafWinsInOnePhase) {
+  const LeafElectionPrediction p = PredictLeafElection({13}, 32);
+  EXPECT_EQ(p.winner_leaf, 13);
+  EXPECT_EQ(p.phases, 1);
+}
+
+TEST(LeafElectionModel, SiblingPairLeftLeafWins) {
+  // Leaves 5 and 6 share a parent in an 8-leaf tree (heap 12, 13 -> parent
+  // 6): the left child's occupant wins.
+  const LeafElectionPrediction p = PredictLeafElection({5, 6}, 8);
+  EXPECT_EQ(p.winner_leaf, 5);
+  EXPECT_EQ(p.phases, 2);
+}
+
+TEST(LeafElectionModel, RejectsDuplicates) {
+  EXPECT_THROW(PredictLeafElection({3, 3}, 8), std::invalid_argument);
+  EXPECT_THROW(PredictLeafElection({}, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crmc::core

@@ -1,0 +1,218 @@
+// Tests for LeafElection (Section 5.3): exhaustive correctness over small
+// trees, determinism, round bounds, and the coalescing-cohorts ablation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/leaf_election.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace crmc::core {
+namespace {
+
+struct ElectionRun {
+  sim::RunResult result;
+  std::vector<std::int64_t> winner_leaves;  // leaves that claimed leadership
+  std::int64_t phases = 0;
+};
+
+ElectionRun RunElection(const std::vector<std::int32_t>& leaves,
+                        std::int32_t num_leaves, std::uint64_t seed = 1,
+                        LeafElectionParams params = {}) {
+  sim::EngineConfig config;
+  config.num_active = static_cast<std::int32_t>(leaves.size());
+  config.population = std::max<std::int64_t>(
+      static_cast<std::int64_t>(leaves.size()), num_leaves);
+  config.channels = 2 * num_leaves - 1;
+  config.seed = seed;
+  config.stop_when_solved = false;
+  config.max_rounds = 100000;
+  ElectionRun run;
+  run.result = sim::Engine::Run(
+      config, MakeLeafElectionOnly(leaves, num_leaves, params));
+  for (const auto& report : run.result.node_reports) {
+    for (const auto& [key, value] : report.metrics) {
+      if (key == "le_winner_leaf") run.winner_leaves.push_back(value);
+      if (key == "le_phases") run.phases = value;
+    }
+  }
+  return run;
+}
+
+// Exhaustive: every nonempty subset of the 8 leaves of a 15-channel tree
+// elects exactly one leader, and the run both solves and terminates.
+TEST(LeafElection, ExhaustiveOverAllSubsetsOfEightLeaves) {
+  constexpr std::int32_t kLeaves = 8;
+  for (unsigned mask = 1; mask < (1u << kLeaves); ++mask) {
+    std::vector<std::int32_t> leaves;
+    for (std::int32_t leaf = 1; leaf <= kLeaves; ++leaf) {
+      if (mask & (1u << (leaf - 1))) leaves.push_back(leaf);
+    }
+    const ElectionRun run = RunElection(leaves, kLeaves);
+    ASSERT_TRUE(run.result.solved) << "mask=" << mask;
+    ASSERT_TRUE(run.result.all_terminated) << "mask=" << mask;
+    ASSERT_EQ(run.winner_leaves.size(), 1u) << "mask=" << mask;
+    // The winner must be one of the occupied leaves.
+    ASSERT_TRUE(std::find(leaves.begin(), leaves.end(),
+                          static_cast<std::int32_t>(run.winner_leaves[0])) !=
+                leaves.end())
+        << "mask=" << mask;
+  }
+}
+
+// LeafElection is deterministic: the winner depends only on the leaf set.
+TEST(LeafElection, WinnerIndependentOfSeed) {
+  const std::vector<std::int32_t> leaves{2, 5, 11, 14, 23, 32};
+  const ElectionRun a = RunElection(leaves, 32, /*seed=*/1);
+  const ElectionRun b = RunElection(leaves, 32, /*seed=*/999);
+  ASSERT_EQ(a.winner_leaves.size(), 1u);
+  ASSERT_EQ(b.winner_leaves.size(), 1u);
+  EXPECT_EQ(a.winner_leaves[0], b.winner_leaves[0]);
+  EXPECT_EQ(a.result.rounds_executed, b.result.rounds_executed);
+}
+
+TEST(LeafElection, SingleNodeWinsImmediately) {
+  const ElectionRun run = RunElection({5}, 8);
+  EXPECT_TRUE(run.result.solved);
+  EXPECT_EQ(run.result.solved_round, 0);  // lone master on the root channel
+  ASSERT_EQ(run.winner_leaves.size(), 1u);
+  EXPECT_EQ(run.winner_leaves[0], 5);
+  EXPECT_EQ(run.phases, 1);
+}
+
+TEST(LeafElection, FullOccupancySolves) {
+  std::vector<std::int32_t> leaves(64);
+  for (std::int32_t i = 0; i < 64; ++i) leaves[static_cast<std::size_t>(i)] = i + 1;
+  const ElectionRun run = RunElection(leaves, 64);
+  EXPECT_TRUE(run.result.solved);
+  ASSERT_EQ(run.winner_leaves.size(), 1u);
+  // With all leaves occupied the cohorts pair perfectly: lg 64 + 1 phases.
+  EXPECT_EQ(run.phases, 7);
+}
+
+TEST(LeafElection, RandomSubsetsOnLargerTrees) {
+  support::RandomSource rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::int32_t num_leaves = 1 << rng.UniformInt(1, 7);  // 2..128
+    const auto count =
+        static_cast<std::int64_t>(rng.UniformInt(1, num_leaves));
+    const auto sample =
+        support::SampleWithoutReplacement(num_leaves, count, rng);
+    std::vector<std::int32_t> leaves(sample.begin(), sample.end());
+    const ElectionRun run =
+        RunElection(leaves, num_leaves, static_cast<std::uint64_t>(trial));
+    ASSERT_TRUE(run.result.solved)
+        << "trial=" << trial << " L=" << num_leaves << " x=" << count;
+    ASSERT_EQ(run.winner_leaves.size(), 1u);
+  }
+}
+
+TEST(LeafElection, PhaseCountIsLogOfOccupancy) {
+  // Corollary 15: at most lg x + 1 phases for x starting nodes.
+  support::RandomSource rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::int32_t num_leaves = 256;
+    const auto count = static_cast<std::int64_t>(rng.UniformInt(2, 200));
+    const auto sample =
+        support::SampleWithoutReplacement(num_leaves, count, rng);
+    std::vector<std::int32_t> leaves(sample.begin(), sample.end());
+    const ElectionRun run =
+        RunElection(leaves, num_leaves, static_cast<std::uint64_t>(trial));
+    const auto bound = static_cast<std::int64_t>(
+        std::floor(std::log2(static_cast<double>(count)))) + 2;
+    EXPECT_LE(run.phases, bound) << "x=" << count;
+  }
+}
+
+TEST(LeafElection, RoundBoundLogHLogLogX) {
+  // Theorem 17 shape: total rounds <= c * (log h * log log x + log x) for a
+  // modest constant. (The additive log x covers the per-phase constant
+  // rounds: root check + pairing.)
+  support::RandomSource rng(4242);
+  for (const std::int32_t num_leaves : {64, 512, 2048}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto count = static_cast<std::int64_t>(
+          rng.UniformInt(2, std::min<std::int64_t>(num_leaves, 256)));
+      const auto sample =
+          support::SampleWithoutReplacement(num_leaves, count, rng);
+      std::vector<std::int32_t> leaves(sample.begin(), sample.end());
+      const ElectionRun run =
+          RunElection(leaves, num_leaves, static_cast<std::uint64_t>(trial));
+      const double h = std::log2(static_cast<double>(num_leaves));
+      const double lgx = std::log2(static_cast<double>(count));
+      const double bound =
+          10.0 * (std::log2(h + 1) * std::log2(lgx + 2) + lgx) + 20.0;
+      EXPECT_LE(static_cast<double>(run.result.rounds_executed), bound)
+          << "L=" << num_leaves << " x=" << count;
+    }
+  }
+}
+
+TEST(LeafElection, AblationBinarySearchIsSlowerForManyNodes) {
+  // Force-binary SplitSearch must still be correct, but with many cohorts
+  // the (p+1)-ary search wins on rounds.
+  LeafElectionParams binary;
+  binary.force_binary_search = true;
+  std::vector<std::int32_t> leaves;
+  for (std::int32_t leaf = 1; leaf <= 256; ++leaf) leaves.push_back(leaf);
+  const std::int32_t num_leaves = 4096;
+  // Spread the 256 nodes over the 4096 leaves deterministically.
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    leaves[i] = static_cast<std::int32_t>(1 + 16 * i);
+  }
+  const ElectionRun fast = RunElection(leaves, num_leaves, 1);
+  const ElectionRun slow = RunElection(leaves, num_leaves, 1, binary);
+  ASSERT_TRUE(fast.result.solved);
+  ASSERT_TRUE(slow.result.solved);
+  EXPECT_EQ(fast.winner_leaves, slow.winner_leaves);
+  EXPECT_LT(fast.result.rounds_executed, slow.result.rounds_executed);
+}
+
+TEST(LeafElection, PhaseStatsRecordDoublingCohorts) {
+  LeafElectionParams params;
+  params.record_phase_stats = true;
+  std::vector<std::int32_t> leaves;
+  for (std::int32_t leaf = 1; leaf <= 32; ++leaf) leaves.push_back(leaf);
+  sim::EngineConfig config;
+  config.num_active = 32;
+  config.population = 32;
+  config.channels = 63;
+  config.seed = 1;
+  config.stop_when_solved = false;
+  const sim::RunResult r = sim::Engine::Run(
+      config, MakeLeafElectionOnly(leaves, 32, params));
+  // Find the winner's report: it participated in every phase.
+  for (const auto& report : r.node_reports) {
+    if (!report.phase_marks.count("le_leader")) continue;
+    std::vector<std::int64_t> sizes;
+    for (const auto& [key, value] : report.metrics) {
+      if (key == "le_csize") sizes.push_back(value);
+    }
+    ASSERT_EQ(sizes.size(), 5u);  // phases with a search: 32 -> 1 cohort
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      EXPECT_EQ(sizes[i], std::int64_t{1} << i);  // 1, 2, 4, 8, 16
+    }
+  }
+}
+
+TEST(LeafElection, RejectsBadArguments) {
+  sim::EngineConfig config;
+  config.num_active = 1;
+  config.channels = 3;
+  config.seed = 1;
+  // Leaf out of range.
+  EXPECT_THROW(sim::Engine::Run(
+                   config, MakeLeafElectionOnly({5}, /*num_leaves=*/2)),
+               std::invalid_argument);
+  // Tree too large for the channel budget (needs 2*8-1 = 15 > 3).
+  EXPECT_THROW(sim::Engine::Run(
+                   config, MakeLeafElectionOnly({1}, /*num_leaves=*/8)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crmc::core

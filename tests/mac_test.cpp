@@ -1,0 +1,119 @@
+// Unit tests for the MAC model: per-round resolution semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mac/channel.h"
+#include "mac/resolver.h"
+
+namespace crmc::mac {
+namespace {
+
+std::vector<Feedback> ResolveAll(Resolver& resolver,
+                                 const std::vector<Action>& actions) {
+  std::vector<Feedback> fb;
+  resolver.Resolve(actions, fb);
+  return fb;
+}
+
+TEST(Resolver, SilenceWhenNobodyTransmits) {
+  Resolver r(4);
+  const auto fb = ResolveAll(r, {Action::Listen(1), Action::Listen(1)});
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_TRUE(fb[1].Silence());
+}
+
+TEST(Resolver, LoneTransmitterDeliversMessageToEveryone) {
+  Resolver r(4);
+  const auto fb = ResolveAll(
+      r, {Action::Transmit(2, Message{99}), Action::Listen(2),
+          Action::Listen(2)});
+  // The transmitter hears its own message back (strong CD semantics).
+  EXPECT_TRUE(fb[0].MessageHeard());
+  EXPECT_EQ(fb[0].message.payload, 99u);
+  EXPECT_TRUE(fb[1].MessageHeard());
+  EXPECT_EQ(fb[1].message.payload, 99u);
+  EXPECT_TRUE(fb[2].MessageHeard());
+}
+
+TEST(Resolver, TwoTransmittersCollide) {
+  Resolver r(4);
+  const auto fb =
+      ResolveAll(r, {Action::Transmit(3), Action::Transmit(3),
+                     Action::Listen(3)});
+  EXPECT_TRUE(fb[0].Collision());
+  EXPECT_TRUE(fb[1].Collision());
+  EXPECT_TRUE(fb[2].Collision());
+}
+
+TEST(Resolver, ChannelsAreIndependent) {
+  Resolver r(4);
+  const auto fb = ResolveAll(
+      r, {Action::Transmit(1, Message{7}), Action::Transmit(2),
+          Action::Transmit(2), Action::Listen(3), Action::Listen(4)});
+  EXPECT_TRUE(fb[0].MessageHeard());
+  EXPECT_TRUE(fb[1].Collision());
+  EXPECT_TRUE(fb[2].Collision());
+  EXPECT_TRUE(fb[3].Silence());
+  EXPECT_TRUE(fb[4].Silence());
+}
+
+TEST(Resolver, IdleNodesObserveNothing) {
+  Resolver r(2);
+  const auto fb = ResolveAll(r, {Action::Idle(), Action::Transmit(1)});
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_TRUE(fb[1].MessageHeard());
+}
+
+TEST(Resolver, SummaryCountsPrimaryTransmitters) {
+  Resolver r(3);
+  std::vector<Feedback> fb;
+  const RoundSummary s1 = r.Resolve(
+      std::vector<Action>{Action::Transmit(1), Action::Transmit(2),
+                          Action::Listen(1)},
+      fb);
+  EXPECT_EQ(s1.primary_transmitters, 1);
+  EXPECT_EQ(s1.total_transmissions, 2);
+  EXPECT_EQ(s1.total_participants, 3);
+
+  const RoundSummary s2 = r.Resolve(
+      std::vector<Action>{Action::Transmit(1), Action::Transmit(1)}, fb);
+  EXPECT_EQ(s2.primary_transmitters, 2);
+}
+
+TEST(Resolver, StateResetsBetweenRounds) {
+  Resolver r(2);
+  std::vector<Feedback> fb;
+  r.Resolve(std::vector<Action>{Action::Transmit(1), Action::Transmit(1)},
+            fb);
+  EXPECT_TRUE(fb[0].Collision());
+  r.Resolve(std::vector<Action>{Action::Listen(1), Action::Listen(1)}, fb);
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_TRUE(fb[1].Silence());
+}
+
+TEST(Resolver, ActivityOfReportsCounts) {
+  Resolver r(3);
+  std::vector<Feedback> fb;
+  r.Resolve(std::vector<Action>{Action::Transmit(2), Action::Listen(2),
+                                Action::Listen(2)},
+            fb);
+  EXPECT_EQ(r.ActivityOf(2).transmitters, 1);
+  EXPECT_EQ(r.ActivityOf(2).listeners, 2);
+  EXPECT_EQ(r.ActivityOf(1).transmitters, 0);
+}
+
+TEST(Resolver, RejectsZeroChannels) {
+  EXPECT_THROW(Resolver(0), std::invalid_argument);
+}
+
+TEST(Resolver, ManyTransmittersStillCollision) {
+  Resolver r(1);
+  std::vector<Action> actions(50, Action::Transmit(1));
+  std::vector<Feedback> fb;
+  r.Resolve(actions, fb);
+  for (const Feedback& f : fb) EXPECT_TRUE(f.Collision());
+}
+
+}  // namespace
+}  // namespace crmc::mac

@@ -1,0 +1,170 @@
+// Tests for the CREW PRAM simulator and Snir's parallel search.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "pram/crew_pram.h"
+#include "pram/snir_search.h"
+#include "support/rng.h"
+
+namespace crmc::pram {
+namespace {
+
+TEST(CrewPram, MemoryStartsZeroed) {
+  CrewPram pram(2, 8);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(pram.Peek(i), 0);
+}
+
+TEST(CrewPram, PokeAndPeek) {
+  CrewPram pram(1, 4);
+  pram.Poke(2, 99);
+  EXPECT_EQ(pram.Peek(2), 99);
+}
+
+TEST(CrewPram, WritesApplyAtEndOfStep) {
+  CrewPram pram(2, 4);
+  pram.Poke(0, 10);
+  // Both processors read cell 0 (concurrent read is fine); processor i
+  // writes to cell i+1. Reads must see the start-of-step snapshot.
+  pram.Step([](CrewPram::ProcessorView& v) {
+    const Cell seen = v.Read(0);
+    v.Write(static_cast<std::size_t>(v.id()) + 1, seen + v.id());
+  });
+  EXPECT_EQ(pram.Peek(1), 10);
+  EXPECT_EQ(pram.Peek(2), 11);
+  EXPECT_EQ(pram.steps_executed(), 1);
+}
+
+TEST(CrewPram, ReadsSeeSnapshotNotConcurrentWrites) {
+  CrewPram pram(2, 4);
+  pram.Poke(0, 5);
+  pram.Step([](CrewPram::ProcessorView& v) {
+    if (v.id() == 0) v.Write(0, 77);
+    // Processor 1 reads cell 0 in the same step: must still see 5.
+    if (v.id() == 1) v.Write(1, v.Read(0));
+  });
+  EXPECT_EQ(pram.Peek(0), 77);
+  EXPECT_EQ(pram.Peek(1), 5);
+}
+
+TEST(CrewPram, ExclusiveWriteViolationThrows) {
+  CrewPram pram(2, 4);
+  EXPECT_THROW(pram.Step([](CrewPram::ProcessorView& v) {
+    v.Write(3, v.id());  // both write cell 3
+  }),
+               CrewViolation);
+}
+
+TEST(CrewPram, SameValueConcurrentWriteStillViolates) {
+  // CREW (not CRCW-common): equal values do not excuse the conflict.
+  CrewPram pram(2, 4);
+  EXPECT_THROW(pram.Step([](CrewPram::ProcessorView& v) { v.Write(3, 1); }),
+               CrewViolation);
+}
+
+TEST(CrewPram, AccessCountersTrack) {
+  CrewPram pram(3, 4);
+  pram.Step([](CrewPram::ProcessorView& v) {
+    (void)v.Read(0);
+    v.Write(static_cast<std::size_t>(v.id()), 1);
+  });
+  EXPECT_EQ(pram.total_reads(), 3);
+  EXPECT_EQ(pram.total_writes(), 3);
+}
+
+// --- Snir search -------------------------------------------------------------
+
+std::vector<std::int64_t> SortedArray(std::size_t n) {
+  std::vector<std::int64_t> a(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = static_cast<std::int64_t>(2 * i);
+  return a;
+}
+
+TEST(SnirSearch, MatchesStdLowerBoundExhaustively) {
+  const auto a = SortedArray(33);  // values 0, 2, ..., 64
+  for (std::int64_t key = -1; key <= 66; ++key) {
+    const auto expected = static_cast<std::size_t>(
+        std::lower_bound(a.begin(), a.end(), key) - a.begin());
+    for (const std::int32_t p : {1, 2, 3, 5, 8}) {
+      EXPECT_EQ(ParallelLowerBound(a, key, p), expected)
+          << "key=" << key << " p=" << p;
+    }
+  }
+}
+
+TEST(SnirSearch, EmptyAndSingletonArrays) {
+  const std::vector<std::int64_t> empty;
+  EXPECT_EQ(ParallelLowerBound(empty, 5, 3), 0u);
+  const std::vector<std::int64_t> one{10};
+  EXPECT_EQ(ParallelLowerBound(one, 5, 3), 0u);
+  EXPECT_EQ(ParallelLowerBound(one, 10, 3), 0u);
+  EXPECT_EQ(ParallelLowerBound(one, 11, 3), 1u);
+}
+
+TEST(SnirSearch, DuplicateKeysFindFirst) {
+  const std::vector<std::int64_t> a{1, 3, 3, 3, 3, 7, 7, 9};
+  EXPECT_EQ(ParallelLowerBound(a, 3, 4), 1u);
+  EXPECT_EQ(ParallelLowerBound(a, 7, 4), 5u);
+}
+
+TEST(SnirSearch, RandomizedAgainstStdLowerBound) {
+  support::RandomSource rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(0, 300));
+    std::vector<std::int64_t> a(n);
+    for (auto& v : a) v = rng.UniformInt(-50, 50);
+    std::sort(a.begin(), a.end());
+    const std::int64_t key = rng.UniformInt(-60, 60);
+    const auto p = static_cast<std::int32_t>(rng.UniformInt(1, 16));
+    const auto expected = static_cast<std::size_t>(
+        std::lower_bound(a.begin(), a.end(), key) - a.begin());
+    ASSERT_EQ(ParallelLowerBound(a, key, p), expected)
+        << "n=" << n << " key=" << key << " p=" << p;
+  }
+}
+
+// The headline property (experiment E13): iteration count is within the
+// ceil(log(N+1)/log(p+1)) bound.
+using IterationBoundParams = std::tuple<std::size_t, std::int32_t>;
+class SnirIterationBound
+    : public ::testing::TestWithParam<IterationBoundParams> {};
+
+TEST_P(SnirIterationBound, WithinPredictedIterations) {
+  const auto [n, p] = GetParam();
+  const auto a = SortedArray(n);
+  support::RandomSource rng(n * 31 + static_cast<std::uint64_t>(p));
+  for (int trial = 0; trial < 16; ++trial) {
+    const std::int64_t key = rng.UniformInt(-2, static_cast<std::int64_t>(2 * n) + 2);
+    SearchStats stats;
+    ParallelLowerBound(a, key, p, &stats);
+    EXPECT_LE(stats.iterations, PredictedIterations(n, p) + 1)
+        << "n=" << n << " p=" << p << " key=" << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SnirIterationBound,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 7, 64, 255, 1024,
+                                                      10000),
+                       ::testing::Values<std::int32_t>(1, 2, 4, 15, 63)));
+
+TEST(SnirSearch, MoreProcessorsNeverSlower) {
+  const auto a = SortedArray(4096);
+  SearchStats s1, s8, s64;
+  ParallelLowerBound(a, 3000, 1, &s1);
+  ParallelLowerBound(a, 3000, 8, &s8);
+  ParallelLowerBound(a, 3000, 64, &s64);
+  EXPECT_LE(s8.iterations, s1.iterations);
+  EXPECT_LE(s64.iterations, s8.iterations);
+  // Binary search baseline: p = 1 needs about lg 4096 = 12 iterations.
+  EXPECT_GE(s1.iterations, 10);
+  EXPECT_LE(s1.iterations, 13);
+  // 64 processors: log(4097)/log(65) ~ 2.
+  EXPECT_LE(s64.iterations, 2);
+}
+
+}  // namespace
+}  // namespace crmc::pram

@@ -1,0 +1,170 @@
+// Tests for the Reduce step (Section 5.1, Theorem 5) and the single-channel
+// knockout fallback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reduce.h"
+#include "harness/runner.h"
+#include "sim/engine.h"
+#include "support/bits.h"
+
+namespace crmc::core {
+namespace {
+
+sim::RunResult RunReduceOnly(std::int32_t num_active, std::int64_t population,
+                             std::uint64_t seed) {
+  sim::EngineConfig config;
+  config.num_active = num_active;
+  config.population = population;
+  config.channels = 1;
+  config.seed = seed;
+  config.stop_when_solved = false;  // run the fixed schedule to completion
+  config.record_active_counts = true;
+  return sim::Engine::Run(config, MakeReduceOnly());
+}
+
+std::int64_t SurvivorCount(const sim::RunResult& r) {
+  std::int64_t survivors = 0;
+  for (const auto& report : r.node_reports) {
+    if (report.phase_marks.count("reduce_survivor") ||
+        report.phase_marks.count("reduce_leader")) {
+      ++survivors;
+    }
+  }
+  return survivors;
+}
+
+TEST(Reduce, ScheduleLengthIsTwiceCeilLgLg) {
+  // ceil(lg lg 2^16) = 4 iterations, 2 rounds each. If a lone transmitter
+  // happens to appear mid-schedule it becomes leader and everyone else goes
+  // inactive, ending the run early — otherwise the schedule is exactly 8
+  // rounds. Both outcomes must occur across seeds.
+  int full_runs = 0;
+  int early_leaders = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const sim::RunResult r = RunReduceOnly(64, 1 << 16, seed);
+    EXPECT_TRUE(r.all_terminated);
+    bool leader = false;
+    for (const auto& report : r.node_reports) {
+      if (report.phase_marks.count("reduce_leader")) leader = true;
+    }
+    if (leader) {
+      ++early_leaders;
+      EXPECT_LE(r.rounds_executed, 8);
+    } else {
+      ++full_runs;
+      EXPECT_EQ(r.rounds_executed, 8);
+    }
+  }
+  EXPECT_GT(full_runs, 0);
+  EXPECT_GT(early_leaders, 0);
+}
+
+TEST(Reduce, AtLeastOneNodeSurvives) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const sim::RunResult r = RunReduceOnly(256, 1 << 12, seed);
+    EXPECT_GE(SurvivorCount(r), 1) << "seed=" << seed;
+  }
+}
+
+class ReduceSurvivors : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(ReduceSurvivors, EndsWithOLogNSurvivors) {
+  const std::int32_t num_active = GetParam();
+  const auto population = static_cast<std::int64_t>(num_active);
+  const double log_n = std::log2(static_cast<double>(population));
+  // Theorem 5: survivors in [1, alpha*beta*log n] w.h.p. We allow a
+  // generous alpha*beta of 12.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const sim::RunResult r = RunReduceOnly(num_active, population, seed);
+    const std::int64_t survivors = SurvivorCount(r);
+    EXPECT_GE(survivors, 1) << "seed=" << seed;
+    EXPECT_LE(survivors, static_cast<std::int64_t>(12.0 * log_n) + 4)
+        << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceSurvivors,
+                         ::testing::Values(2, 8, 64, 512, 4096, 32768));
+
+TEST(Reduce, ActiveCountNeverIncreases) {
+  const sim::RunResult r = RunReduceOnly(1024, 1024, 3);
+  for (std::size_t i = 1; i < r.active_counts.size(); ++i) {
+    EXPECT_LE(r.active_counts[i], r.active_counts[i - 1]);
+  }
+}
+
+TEST(Reduce, SmallPopulationDegenerates) {
+  // |A| = 1: the lone node transmits with probability 1/n; it either
+  // becomes leader (solving the problem) or survives silently.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const sim::RunResult r = RunReduceOnly(1, 4, seed);
+    EXPECT_TRUE(r.all_terminated);
+    EXPECT_EQ(SurvivorCount(r), 1);
+  }
+}
+
+TEST(Reduce, PopulationMuchLargerThanActives) {
+  // n = 2^20 possible, only 16 woke up: the early rounds (p = 1/n-hat) are
+  // almost surely silent, and the knockout must still leave >= 1 node.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const sim::RunResult r = RunReduceOnly(16, 1 << 20, seed);
+    EXPECT_GE(SurvivorCount(r), 1);
+  }
+}
+
+TEST(Reduce, LeaderImpliesSolved) {
+  // Whenever some node reports reduce_leader, the engine must have seen a
+  // lone primary transmission that round.
+  int leaders_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const sim::RunResult r = RunReduceOnly(32, 64, seed);
+    for (const auto& report : r.node_reports) {
+      auto it = report.phase_marks.find("reduce_leader");
+      if (it != report.phase_marks.end()) {
+        ++leaders_seen;
+        EXPECT_TRUE(r.solved);
+        EXPECT_LE(r.solved_round, it->second);
+      }
+    }
+  }
+  EXPECT_GT(leaders_seen, 0) << "schedule never produced a lone transmitter "
+                                "in 200 seeds; suspicious";
+}
+
+// --- KnockoutCd fallback -----------------------------------------------------
+
+class KnockoutSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(KnockoutSweep, SolvesForAllSizes) {
+  const std::int32_t num_active = GetParam();
+  sim::EngineConfig config;
+  config.num_active = num_active;
+  config.channels = 1;
+  config.stop_when_solved = false;
+  config.max_rounds = 200000;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    config.seed = seed;
+    const sim::RunResult r = sim::Engine::Run(config, MakeKnockoutCd());
+    ASSERT_TRUE(r.solved) << "seed=" << seed;
+    ASSERT_TRUE(r.all_terminated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KnockoutSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000));
+
+TEST(KnockoutCd, RoundsScaleLogarithmically) {
+  harness::TrialSpec spec;
+  spec.channels = 1;
+  spec.num_active = 1 << 14;
+  spec.population = 1 << 14;
+  const double mean = harness::MeanSolvedRounds(spec, MakeKnockoutCd(), 40);
+  // Expected ~ lg(16384) = 14 halvings plus a constant tail.
+  EXPECT_LE(mean, 60.0);
+  EXPECT_GE(mean, 8.0);
+}
+
+}  // namespace
+}  // namespace crmc::core

@@ -1,0 +1,265 @@
+// Isolated tests for the Section 5.3 communication primitives, driven with
+// synthetic cohort layouts (no LeafElection on top): CheckLevel verdicts
+// and SplitSearch results are compared against brute force over the cohort
+// positions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/split_primitives.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+#include "tree/channel_tree.h"
+
+namespace crmc::core {
+namespace {
+
+using tree::ChannelTree;
+
+// A synthetic cohort layout: `cohorts[i]` lists the leaves of cohort i in
+// cID order (index 0 is the master). All cohorts must have equal size and
+// the layout must satisfy Property 11 (each cohort's leaves share an
+// ancestor at a common level, distinct across cohorts).
+struct Layout {
+  std::vector<std::vector<std::int32_t>> cohorts;
+  std::int32_t num_leaves = 0;
+  std::int32_t cnode_level = 0;  // common level of the cohort nodes
+};
+
+// Brute force: the smallest level at which all cohorts' ancestors are
+// distinct (using each cohort's node = the LCA of its members).
+std::int32_t BruteForceSplitLevel(const Layout& layout) {
+  const ChannelTree tr(layout.num_leaves);
+  std::vector<std::int32_t> cnodes;
+  for (const auto& cohort : layout.cohorts) {
+    cnodes.push_back(tr.AncestorAtLevel(cohort[0], layout.cnode_level));
+  }
+  for (std::int32_t level = 1; level <= layout.cnode_level; ++level) {
+    std::set<std::int32_t> seen;
+    bool distinct = true;
+    for (const std::int32_t cnode : cnodes) {
+      if (!seen.insert(cnode >> (layout.cnode_level - level)).second) {
+        distinct = false;
+        break;
+      }
+    }
+    if (distinct) return level;
+  }
+  return layout.cnode_level;
+}
+
+// Runs SplitSearch for every member of every cohort simultaneously and
+// returns the level each node computed (all must agree).
+std::vector<std::int32_t> RunSplitSearch(const Layout& layout,
+                                         bool force_binary = false) {
+  const ChannelTree tr(layout.num_leaves);
+  std::int32_t total = 0;
+  for (const auto& cohort : layout.cohorts) {
+    total += static_cast<std::int32_t>(cohort.size());
+  }
+
+  // Flatten (cohort, member) into engine node indices.
+  struct NodeSetup {
+    CohortView view;
+  };
+  std::vector<NodeSetup> setups;
+  for (const auto& cohort : layout.cohorts) {
+    for (std::size_t member = 0; member < cohort.size(); ++member) {
+      CohortView view;
+      view.leaf = cohort[member];
+      view.cid = static_cast<std::int32_t>(member) + 1;
+      view.cohort_size = static_cast<std::int32_t>(cohort.size());
+      view.cnode_heap =
+          tr.AncestorAtLevel(cohort[0], layout.cnode_level);
+      view.cnode_level = layout.cnode_level;
+      setups.push_back(NodeSetup{view});
+    }
+  }
+
+  sim::EngineConfig config;
+  config.num_active = total;
+  config.population = std::max<std::int64_t>(total, layout.num_leaves);
+  config.channels = tr.num_tree_nodes();
+  config.seed = 1;
+  config.stop_when_solved = false;
+  config.max_rounds = 50000;
+
+  struct Protocol {
+    static sim::Task<void> Run(sim::NodeContext& ctx, ChannelTree tr,
+                               CohortView view, bool force_binary) {
+      const std::int32_t level =
+          co_await SplitSearch(ctx, tr, view, force_binary);
+      ctx.RecordMetric("split_level", level);
+    }
+  };
+  const sim::RunResult result = sim::Engine::Run(
+      config, [&](sim::NodeContext& ctx) {
+        const CohortView view =
+            setups[static_cast<std::size_t>(ctx.index())].view;
+        return Protocol::Run(ctx, tr, view, force_binary);
+      });
+  std::vector<std::int32_t> levels;
+  for (const auto v : result.MetricValues("split_level")) {
+    levels.push_back(static_cast<std::int32_t>(v));
+  }
+  return levels;
+}
+
+TEST(SplitSearch, TwoSingletonCohortsSiblingLeaves) {
+  // Leaves 5, 6 of an 8-leaf tree share their level-2 parent: the split
+  // level is 3.
+  Layout layout;
+  layout.num_leaves = 8;
+  layout.cnode_level = 3;
+  layout.cohorts = {{5}, {6}};
+  const auto levels = RunSplitSearch(layout);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0], 3);
+  EXPECT_EQ(levels[1], 3);
+  EXPECT_EQ(BruteForceSplitLevel(layout), 3);
+}
+
+TEST(SplitSearch, TwoSingletonCohortsOppositeSubtrees) {
+  // Leaves 1 and 8 diverge at the root: split level 1.
+  Layout layout;
+  layout.num_leaves = 8;
+  layout.cnode_level = 3;
+  layout.cohorts = {{1}, {8}};
+  const auto levels = RunSplitSearch(layout);
+  for (const auto l : levels) EXPECT_EQ(l, 1);
+}
+
+TEST(SplitSearch, LargeCohortsAboveLeafLevel) {
+  // Two cohorts of size 4 whose cohort nodes sit at level 2 of a 32-leaf
+  // tree (level-2 nodes 4 and 5 — siblings, split level 2... nodes 4 and
+  // 5 are children of node 2, so they diverge at level 2).
+  Layout layout;
+  layout.num_leaves = 32;
+  layout.cnode_level = 2;
+  // Cohort under level-2 node 4 (leaves 1..8) and node 5 (leaves 9..16):
+  // members may be any leaves below the cohort node.
+  layout.cohorts = {{1, 3, 6, 8}, {9, 12, 13, 16}};
+  const auto levels = RunSplitSearch(layout);
+  ASSERT_EQ(levels.size(), 8u);
+  for (const auto l : levels) EXPECT_EQ(l, 2);
+  EXPECT_EQ(BruteForceSplitLevel(layout), 2);
+}
+
+// Randomized property: generate valid layouts and compare against brute
+// force, with and without the cohort acceleration.
+TEST(SplitSearch, RandomLayoutsMatchBruteForce) {
+  support::RandomSource rng(0x5eed5);
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::int32_t height = static_cast<std::int32_t>(
+        rng.UniformInt(2, 8));
+    const std::int32_t num_leaves = 1 << height;
+    const ChannelTree tr(num_leaves);
+    // Cohort size 2^s, cohort nodes at level `cnode_level`.
+    const std::int32_t s = static_cast<std::int32_t>(rng.UniformInt(0, 3));
+    const std::int32_t size = 1 << s;
+    const std::int32_t cnode_level =
+        static_cast<std::int32_t>(rng.UniformInt(1, height));
+    const std::int32_t nodes_at_level = 1 << cnode_level;
+    const std::int32_t leaves_per_node = num_leaves / nodes_at_level;
+    if (leaves_per_node < size) continue;  // cohort wouldn't fit
+    const auto num_cohorts = static_cast<std::int64_t>(
+        rng.UniformInt(2, std::min(nodes_at_level, 12)));
+    // Choose distinct cohort nodes at cnode_level.
+    const auto chosen = support::SampleWithoutReplacement(
+        nodes_at_level, num_cohorts, rng);
+    Layout layout;
+    layout.num_leaves = num_leaves;
+    layout.cnode_level = cnode_level;
+    for (const auto node_pos : chosen) {
+      // Leaves under level-cnode_level node at position node_pos (1-based):
+      const std::int32_t first_leaf =
+          static_cast<std::int32_t>((node_pos - 1)) * leaves_per_node + 1;
+      const auto members = support::SampleWithoutReplacement(
+          leaves_per_node, size, rng);
+      std::vector<std::int32_t> cohort;
+      for (const auto m : members) {
+        cohort.push_back(first_leaf + static_cast<std::int32_t>(m) - 1);
+      }
+      layout.cohorts.push_back(std::move(cohort));
+    }
+    const std::int32_t expected = BruteForceSplitLevel(layout);
+    for (const bool force_binary : {false, true}) {
+      const auto levels = RunSplitSearch(layout, force_binary);
+      ASSERT_FALSE(levels.empty());
+      for (const auto l : levels) {
+        ASSERT_EQ(l, expected)
+            << "trial=" << trial << " L=" << num_leaves << " size=" << size
+            << " level=" << cnode_level << " binary=" << force_binary;
+      }
+    }
+  }
+}
+
+TEST(SplitSearch, RefinementCountMatchesSnir) {
+  // Fully-occupied sibling cohorts at the leaf level of a tall tree: the
+  // refinement count must be within the ceil(log(h)/log(p+1)) prediction.
+  Layout layout;
+  layout.num_leaves = 1 << 10;
+  layout.cnode_level = 10;
+  layout.cohorts = {{1}, {2}};
+  const ChannelTree tr(layout.num_leaves);
+
+  for (const std::int32_t size : {1, 2, 4, 8}) {
+    // Build two cohorts of `size` adjacent leaves under distinct parents.
+    layout.cohorts.clear();
+    std::vector<std::int32_t> a, b;
+    for (std::int32_t i = 0; i < size; ++i) {
+      a.push_back(1 + i);
+      b.push_back(layout.num_leaves / 2 + 1 + i);
+    }
+    const std::int32_t cohort_level =
+        10 - (size == 1 ? 0 : (size == 2 ? 1 : (size == 4 ? 2 : 3)));
+    layout.cnode_level = cohort_level;
+    layout.cohorts = {a, b};
+
+    std::int32_t total = 2 * size;
+    sim::EngineConfig config;
+    config.num_active = total;
+    config.population = layout.num_leaves;
+    config.channels = tr.num_tree_nodes();
+    config.seed = 1;
+    config.stop_when_solved = false;
+    struct Protocol {
+      static sim::Task<void> Run(sim::NodeContext& ctx, ChannelTree tr,
+                                 CohortView view) {
+        std::int64_t refinements = 0;
+        (void)co_await SplitSearch(ctx, tr, view, false, &refinements);
+        ctx.RecordMetric("refinements", refinements);
+      }
+    };
+    const sim::RunResult result = sim::Engine::Run(
+        config, [&](sim::NodeContext& ctx) {
+          const std::int32_t idx = ctx.index();
+          const bool second = idx >= size;
+          const auto& cohort = layout.cohorts[second ? 1 : 0];
+          CohortView view;
+          view.leaf = cohort[static_cast<std::size_t>(idx % size)];
+          view.cid = (idx % size) + 1;
+          view.cohort_size = size;
+          view.cnode_heap =
+              tr.AncestorAtLevel(cohort[0], layout.cnode_level);
+          view.cnode_level = layout.cnode_level;
+          return Protocol::Run(ctx, tr, view);
+        });
+    const auto refinements = result.MetricValues("refinements");
+    ASSERT_FALSE(refinements.empty());
+    const double predicted = std::ceil(
+        std::log2(static_cast<double>(layout.cnode_level) + 1.0) /
+        std::log2(static_cast<double>(size) + 1.0));
+    for (const auto r : refinements) {
+      EXPECT_LE(r, static_cast<std::int64_t>(predicted) + 1)
+          << "size=" << size;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crmc::core

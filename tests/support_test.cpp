@@ -1,0 +1,181 @@
+// Unit tests for src/support: bit math and RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "support/bits.h"
+#include "support/rng.h"
+
+namespace crmc::support {
+namespace {
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(std::uint64_t{1} << 63), 63);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(Bits, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(48));
+  EXPECT_EQ(FloorPow2(1), 1u);
+  EXPECT_EQ(FloorPow2(63), 32u);
+  EXPECT_EQ(FloorPow2(64), 64u);
+  EXPECT_EQ(CeilPow2(63), 64u);
+  EXPECT_EQ(CeilPow2(64), 64u);
+  EXPECT_EQ(CeilPow2(65), 128u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 3), 0);
+  EXPECT_EQ(CeilDiv(1, 3), 1);
+  EXPECT_EQ(CeilDiv(3, 3), 1);
+  EXPECT_EQ(CeilDiv(4, 3), 2);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+}
+
+TEST(Bits, CeilLgLg) {
+  // lg lg 4 = 1, lg lg 16 = 2, lg lg 256 = 3, lg lg 65536 = 4.
+  EXPECT_EQ(CeilLgLg(2), 1);  // clamped to >= 1
+  EXPECT_EQ(CeilLgLg(4), 1);
+  EXPECT_EQ(CeilLgLg(16), 2);
+  EXPECT_EQ(CeilLgLg(17), 3);  // ceil(lg ceil(lg 17)) = ceil(lg 5) = 3
+  EXPECT_EQ(CeilLgLg(256), 3);
+  EXPECT_EQ(CeilLgLg(65536), 4);
+  EXPECT_EQ(CeilLgLg(std::uint64_t{1} << 32), 5);
+}
+
+TEST(Rng, Deterministic) {
+  RandomSource a(42);
+  RandomSource b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, StreamsDiffer) {
+  RandomSource a = RandomSource::ForStream(7, 1);
+  RandomSource b = RandomSource::ForStream(7, 2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformIntRange) {
+  RandomSource rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.UniformInt(3, 17);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 17);
+  }
+  // Degenerate range.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  RandomSource rng(99);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<std::size_t>(rng.UniformInt(0, kBuckets - 1))];
+  }
+  // Chi-squared with 15 dof; 99.9th percentile ~ 37.7.
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 45.0) << "uniformity chi-squared too large";
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  RandomSource rng(123);
+  constexpr int kSamples = 200000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / kSamples;
+  EXPECT_NEAR(rate, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  RandomSource rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Sampling, WithoutReplacementIsDistinctAndInRange) {
+  RandomSource rng(77);
+  const auto sample = SampleWithoutReplacement(1000000, 500, rng);
+  ASSERT_EQ(sample.size(), 500u);
+  std::set<std::int64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 500u);
+  for (const std::int64_t v : sample) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000000);
+  }
+}
+
+TEST(Sampling, FullPopulationIsPermutation) {
+  RandomSource rng(3);
+  const auto sample = SampleWithoutReplacement(64, 64, rng);
+  std::set<std::int64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 64u);
+  EXPECT_EQ(*distinct.begin(), 1);
+  EXPECT_EQ(*distinct.rbegin(), 64);
+}
+
+TEST(Sampling, MarginalsAreUniform) {
+  // Each value of [1, 20] should appear in a 5-element sample with
+  // probability 1/4.
+  RandomSource rng(11);
+  std::vector<int> counts(21, 0);
+  constexpr int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (const std::int64_t v : SampleWithoutReplacement(20, 5, rng)) {
+      ++counts[static_cast<std::size_t>(v)];
+    }
+  }
+  for (int v = 1; v <= 20; ++v) {
+    const double rate = static_cast<double>(counts[v]) / kTrials;
+    EXPECT_NEAR(rate, 0.25, 0.02) << "value " << v;
+  }
+}
+
+TEST(Sampling, RejectsBadArguments) {
+  RandomSource rng(1);
+  EXPECT_THROW(SampleWithoutReplacement(5, 6, rng), std::invalid_argument);
+  EXPECT_THROW(SampleWithoutReplacement(5, -1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crmc::support

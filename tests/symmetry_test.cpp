@@ -1,0 +1,141 @@
+// Tests for the symmetry-breaking cap module (the lower bound's one-round
+// core), including a Monte-Carlo differential check of the exact formula.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/symmetry.h"
+#include "support/rng.h"
+
+namespace crmc::baselines {
+namespace {
+
+TEST(Symmetry, OptimalStrategyAchievesTheCap) {
+  for (const std::int32_t c : {1, 2, 4, 16, 256}) {
+    const RoundStrategy s = RoundStrategy::Optimal(c);
+    EXPECT_NEAR(BreakProbability(s), OptimalBreakProbability(c), 1e-12)
+        << "C=" << c;
+    // All-transmit-uniform is strictly suboptimal (for C > 1): 1 - 1/C
+    // versus C/(C+1).
+    const RoundStrategy uniform = RoundStrategy::UniformTransmit(c);
+    EXPECT_NEAR(BreakProbability(uniform),
+                1.0 - 1.0 / static_cast<double>(c), 1e-12);
+    if (c > 1) {
+      EXPECT_LT(BreakProbability(uniform), OptimalBreakProbability(c));
+    }
+  }
+}
+
+TEST(Symmetry, NoSimplexCornerBeatsTheCap) {
+  // Exhaustive-ish grid over two-channel strategies: tau1, tau2, lambda on
+  // a 1/60 lattice. Nothing exceeds C/(C+1).
+  const double cap = OptimalBreakProbability(2);
+  double best = 0.0;
+  constexpr int kSteps = 60;
+  for (int i = 0; i <= kSteps; ++i) {
+    for (int j = 0; i + j <= kSteps; ++j) {
+      RoundStrategy s;
+      const double t1 = static_cast<double>(i) / kSteps;
+      const double t2 = static_cast<double>(j) / kSteps;
+      s.transmit = {t1, t2};
+      s.listen = {1.0 - t1 - t2, 0.0};
+      best = std::max(best, BreakProbability(s));
+    }
+  }
+  EXPECT_LE(best, cap + 1e-9);
+  EXPECT_GE(best, cap - 1e-3);  // the lattice includes (1/3, 1/3, 1/3)
+}
+
+TEST(Symmetry, SingleChannelStrategiesCapAtHalf) {
+  // With C = 1, break requires one tx + one listen: p = 2 t (1 - t) <= 1/2.
+  RoundStrategy s;
+  s.transmit = {0.5};
+  s.listen = {0.5};
+  EXPECT_NEAR(BreakProbability(s), 0.5, 1e-12);
+  s.transmit = {0.9};
+  s.listen = {0.1};
+  EXPECT_NEAR(BreakProbability(s), 2 * 0.9 * 0.1, 1e-12);
+}
+
+TEST(Symmetry, TooMuchListeningIsWasteful) {
+  // The optimal listening reserve is 1/(C+1); half listening overshoots
+  // and lowers the break chance when channels are plentiful.
+  const std::int32_t c = 8;
+  RoundStrategy all_tx = RoundStrategy::UniformTransmit(c);
+  RoundStrategy half_listen;
+  half_listen.transmit.assign(8, 0.5 / 8.0);
+  half_listen.listen.assign(8, 0.5 / 8.0);
+  EXPECT_GT(BreakProbability(all_tx), BreakProbability(half_listen));
+  EXPECT_GT(BreakProbability(RoundStrategy::Optimal(c)),
+            BreakProbability(all_tx));
+}
+
+TEST(Symmetry, RejectsMalformedStrategies) {
+  RoundStrategy bad;
+  bad.transmit = {0.2};
+  bad.listen = {0.2};  // sums to 0.4
+  EXPECT_THROW(BreakProbability(bad), std::invalid_argument);
+  RoundStrategy mismatched;
+  mismatched.transmit = {1.0};
+  mismatched.listen = {};
+  EXPECT_THROW(BreakProbability(mismatched), std::invalid_argument);
+}
+
+TEST(Symmetry, HillClimbNeverBeatsTheAnalyticOptimum) {
+  for (const std::int32_t c : {1, 2, 4, 16, 64}) {
+    const double found = SearchBestBreakProbability(c, 6, 3000);
+    const double optimum = OptimalBreakProbability(c);
+    EXPECT_LE(found, optimum + 1e-9) << "C=" << c;
+    // And the search should come close to it (within 2%).
+    EXPECT_GE(found, optimum - 0.02) << "C=" << c;
+  }
+}
+
+TEST(Symmetry, ImpliedBoundMatchesLogNOverLogC) {
+  // With p = C/(C+1) the implied bound is log(n)/log(C+1).
+  for (const std::int32_t c : {2, 16, 1024}) {
+    const double n = 1 << 20;
+    const double p = OptimalBreakProbability(c);
+    const double bound = ImpliedRoundLowerBound(n, p);
+    const double expected =
+        std::ceil(std::log(n) / std::log(static_cast<double>(c) + 1.0));
+    EXPECT_NEAR(bound, expected, 1.0) << "C=" << c;
+  }
+  EXPECT_THROW(ImpliedRoundLowerBound(1.0, 0.5), std::invalid_argument);
+}
+
+// Differential check: the closed-form break probability matches a direct
+// Monte-Carlo of the outcome calculus.
+TEST(Symmetry, FormulaMatchesMonteCarlo) {
+  support::RandomSource rng(0x51a1);
+  RoundStrategy s;
+  s.transmit = {0.3, 0.1, 0.05};
+  s.listen = {0.25, 0.2, 0.1};
+  const double exact = BreakProbability(s);
+
+  auto draw = [&]() {
+    // Returns (channel, is_tx) drawn from the strategy.
+    double u = rng.UniformDouble();
+    for (std::size_t c = 0; c < s.transmit.size(); ++c) {
+      if (u < s.transmit[c]) return std::pair<int, bool>{(int)c, true};
+      u -= s.transmit[c];
+      if (u < s.listen[c]) return std::pair<int, bool>{(int)c, false};
+      u -= s.listen[c];
+    }
+    return std::pair<int, bool>{0, true};  // numeric slack
+  };
+  constexpr int kTrials = 400000;
+  int broken = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto a = draw();
+    const auto b = draw();
+    const bool both_listen = !a.second && !b.second;
+    const bool same_channel_tx =
+        a.second && b.second && a.first == b.first;
+    if (!both_listen && !same_channel_tx) ++broken;
+  }
+  EXPECT_NEAR(static_cast<double>(broken) / kTrials, exact, 0.005);
+}
+
+}  // namespace
+}  // namespace crmc::baselines

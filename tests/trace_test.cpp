@@ -1,0 +1,132 @@
+// Tests for execution tracing and energy (per-node transmission)
+// accounting in the engine.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/two_active.h"
+#include "mac/channel.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace crmc::sim {
+namespace {
+
+using mac::kPrimaryChannel;
+
+Task<void> ScriptedPair(NodeContext& ctx) {
+  if (ctx.index() == 0) {
+    co_await ctx.Transmit(2, mac::Message{1});  // round 0: lone tx on ch 2
+    co_await ctx.Transmit(3);                   // round 1: collision on ch 3
+    co_await ctx.Transmit(kPrimaryChannel);     // round 2: lone tx on ch 1
+  } else {
+    co_await ctx.Listen(2);
+    co_await ctx.Transmit(3);
+    co_await ctx.Listen(kPrimaryChannel);
+  }
+}
+
+TEST(Trace, RecordsTouchedChannelsPerRound) {
+  EngineConfig config;
+  config.num_active = 2;
+  config.channels = 3;
+  config.seed = 1;
+  config.record_trace = true;
+  config.stop_when_solved = false;
+  const RunResult r = Engine::Run(config, [](NodeContext& ctx) {
+    return ScriptedPair(ctx);
+  });
+  ASSERT_EQ(r.trace.size(), 3u);
+
+  ASSERT_EQ(r.trace[0].events.size(), 1u);
+  EXPECT_EQ(r.trace[0].events[0].channel, 2);
+  EXPECT_EQ(r.trace[0].events[0].transmitters, 1);
+  EXPECT_EQ(r.trace[0].events[0].listeners, 1);
+
+  ASSERT_EQ(r.trace[1].events.size(), 1u);
+  EXPECT_EQ(r.trace[1].events[0].channel, 3);
+  EXPECT_EQ(r.trace[1].events[0].transmitters, 2);
+
+  ASSERT_EQ(r.trace[2].events.size(), 1u);
+  EXPECT_EQ(r.trace[2].events[0].channel, 1);
+  EXPECT_EQ(r.trace[2].events[0].transmitters, 1);
+}
+
+TEST(Trace, RenderProducesLegendAndMarks) {
+  EngineConfig config;
+  config.num_active = 2;
+  config.channels = 3;
+  config.seed = 1;
+  config.record_trace = true;
+  config.stop_when_solved = false;
+  const RunResult r = Engine::Run(config, [](NodeContext& ctx) {
+    return ScriptedPair(ctx);
+  });
+  std::ostringstream os;
+  RenderTrace(r.trace, 3, 10, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('m'), std::string::npos);  // lone tx on channel 2
+  EXPECT_NE(out.find('X'), std::string::npos);  // collision on channel 3
+  EXPECT_NE(out.find('M'), std::string::npos);  // solving primary tx
+  EXPECT_NE(out.find("legend"), std::string::npos);
+}
+
+TEST(Trace, ElidesRoundsBeyondCap) {
+  std::vector<RoundTrace> trace(20);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].round = static_cast<std::int64_t>(i);
+  }
+  std::ostringstream os;
+  RenderTrace(trace, 4, 5, os);
+  EXPECT_NE(os.str().find("15 more rounds elided"), std::string::npos);
+}
+
+TEST(Trace, OffByDefault) {
+  EngineConfig config;
+  config.num_active = 2;
+  config.channels = 3;
+  config.seed = 1;
+  config.stop_when_solved = false;
+  const RunResult r = Engine::Run(config, [](NodeContext& ctx) {
+    return ScriptedPair(ctx);
+  });
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(Energy, PerNodeTransmissionAccounting) {
+  EngineConfig config;
+  config.num_active = 2;
+  config.channels = 3;
+  config.seed = 1;
+  config.stop_when_solved = false;
+  config.record_node_transmissions = true;
+  const RunResult r = Engine::Run(config, [](NodeContext& ctx) {
+    return ScriptedPair(ctx);
+  });
+  ASSERT_EQ(r.node_transmissions.size(), 2u);
+  EXPECT_EQ(r.node_transmissions[0], 3);  // node 0 transmitted every round
+  EXPECT_EQ(r.node_transmissions[1], 1);
+  EXPECT_EQ(r.max_node_transmissions, 3);
+  EXPECT_DOUBLE_EQ(r.mean_node_transmissions, 2.0);
+  EXPECT_EQ(r.total_transmissions, 4);
+}
+
+TEST(Energy, TwoActiveEnergyIsSmall) {
+  // Each TwoActive node transmits once per renaming attempt, once per
+  // search probe, and the winner once more: energy stays in the same
+  // O(log n/log C + loglog n) envelope as time.
+  EngineConfig config;
+  config.num_active = 2;
+  config.population = 1 << 20;
+  config.channels = 256;
+  config.stop_when_solved = false;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    config.seed = seed;
+    const RunResult r = Engine::Run(config, core::MakeTwoActive());
+    EXPECT_LE(r.max_node_transmissions, r.rounds_executed);
+    EXPECT_GE(r.max_node_transmissions, 2);
+  }
+}
+
+}  // namespace
+}  // namespace crmc::sim

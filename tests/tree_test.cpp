@@ -1,0 +1,149 @@
+// Unit + property tests for the channel tree.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tree/channel_tree.h"
+
+namespace crmc::tree {
+namespace {
+
+TEST(ChannelTree, BasicDimensions) {
+  const ChannelTree t(8);
+  EXPECT_EQ(t.num_leaves(), 8);
+  EXPECT_EQ(t.height(), 3);
+  EXPECT_EQ(t.num_tree_nodes(), 15);
+}
+
+TEST(ChannelTree, SingleLeafDegenerates) {
+  const ChannelTree t(1);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_EQ(t.num_tree_nodes(), 1);
+  EXPECT_EQ(t.LeafHeapIndex(1), 1);
+  EXPECT_EQ(t.AncestorAtLevel(1, 0), 1);
+}
+
+TEST(ChannelTree, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(ChannelTree(6), std::invalid_argument);
+  EXPECT_THROW(ChannelTree(0), std::invalid_argument);
+}
+
+TEST(ChannelTree, LeafHeapIndices) {
+  const ChannelTree t(8);
+  EXPECT_EQ(t.LeafHeapIndex(1), 8);
+  EXPECT_EQ(t.LeafHeapIndex(8), 15);
+  EXPECT_THROW(t.LeafHeapIndex(0), std::invalid_argument);
+  EXPECT_THROW(t.LeafHeapIndex(9), std::invalid_argument);
+}
+
+TEST(ChannelTree, AncestorsOfLeafFive) {
+  const ChannelTree t(8);  // heap leaf index of 5 is 12
+  EXPECT_EQ(t.AncestorAtLevel(5, 3), 12);
+  EXPECT_EQ(t.AncestorAtLevel(5, 2), 6);
+  EXPECT_EQ(t.AncestorAtLevel(5, 1), 3);
+  EXPECT_EQ(t.AncestorAtLevel(5, 0), 1);
+}
+
+TEST(ChannelTree, IndexWithinLevelMatchesPaperFormula) {
+  // The paper's SplitCheck assigns node with ID id to channel
+  // ceil(id / 2^(lg C - m)) at level m.
+  const ChannelTree t(16);
+  const int h = t.height();
+  for (int id = 1; id <= 16; ++id) {
+    for (int m = 0; m <= h; ++m) {
+      const int expected = (id + (1 << (h - m)) - 1) / (1 << (h - m));
+      EXPECT_EQ(t.IndexWithinLevel(id, m), expected)
+          << "id=" << id << " level=" << m;
+    }
+  }
+}
+
+TEST(ChannelTree, RowChannels) {
+  const ChannelTree t(8);
+  EXPECT_EQ(t.RowChannel(0), 1);
+  EXPECT_EQ(t.RowChannel(1), 2);
+  EXPECT_EQ(t.RowChannel(2), 4);
+  EXPECT_EQ(t.RowChannel(3), 8);
+}
+
+TEST(ChannelTree, IsLeftChild) {
+  EXPECT_TRUE(ChannelTree::IsLeftChild(2));
+  EXPECT_FALSE(ChannelTree::IsLeftChild(3));
+  EXPECT_TRUE(ChannelTree::IsLeftChild(14));
+  EXPECT_FALSE(ChannelTree::IsLeftChild(15));
+}
+
+// Property: two leaves share their level-m ancestor iff m is at most the
+// level of their lowest common ancestor — verified against a brute-force
+// LCA computed by walking heap parents.
+TEST(ChannelTree, SharedAncestorMatchesBruteForceLca) {
+  const ChannelTree t(32);
+  const int h = t.height();
+  auto lca_level = [&](int a, int b) {
+    int x = t.LeafHeapIndex(a);
+    int y = t.LeafHeapIndex(b);
+    int level = h;
+    while (x != y) {
+      x /= 2;
+      y /= 2;
+      --level;
+    }
+    return level;
+  };
+  for (int a = 1; a <= 32; ++a) {
+    for (int b = 1; b <= 32; ++b) {
+      const int shared_up_to = lca_level(a, b);
+      for (int m = 0; m <= h; ++m) {
+        const bool shared = t.AncestorAtLevel(a, m) == t.AncestorAtLevel(b, m);
+        EXPECT_EQ(shared, m <= shared_up_to)
+            << "a=" << a << " b=" << b << " m=" << m;
+      }
+    }
+  }
+}
+
+// Property: at the LCA level + 1, exactly one of two distinct leaves
+// descends through the left child — the TwoActive winner rule.
+TEST(ChannelTree, ExactlyOneLeftChildBelowLca) {
+  const ChannelTree t(64);
+  const int h = t.height();
+  for (int a = 1; a <= 64; ++a) {
+    for (int b = a + 1; b <= 64; ++b) {
+      int x = t.LeafHeapIndex(a);
+      int y = t.LeafHeapIndex(b);
+      int level = h;
+      while (x != y) {
+        x /= 2;
+        y /= 2;
+        --level;
+      }
+      const int divergence = level + 1;
+      const bool a_left = t.AncestorIsLeftChild(a, divergence);
+      const bool b_left = t.AncestorIsLeftChild(b, divergence);
+      EXPECT_NE(a_left, b_left) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+// Property: channel assignments of distinct tree nodes are distinct and
+// cover [1, 2L-1].
+TEST(ChannelTree, ChannelAssignmentIsBijective) {
+  const ChannelTree t(16);
+  std::vector<bool> seen(static_cast<std::size_t>(t.num_tree_nodes()) + 1,
+                         false);
+  for (int node = 1; node <= t.num_tree_nodes(); ++node) {
+    const auto ch = t.ChannelOf(node);
+    ASSERT_GE(ch, 1);
+    ASSERT_LE(ch, t.num_tree_nodes());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(ch)]);
+    seen[static_cast<std::size_t>(ch)] = true;
+  }
+}
+
+TEST(ChannelTree, RootIsPrimaryChannel) {
+  const ChannelTree t(8);
+  EXPECT_EQ(t.ChannelOf(t.AncestorAtLevel(5, 0)), mac::kPrimaryChannel);
+}
+
+}  // namespace
+}  // namespace crmc::tree

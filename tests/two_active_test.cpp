@@ -1,0 +1,190 @@
+// Tests for the TwoActive algorithm (Section 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/baselines.h"
+#include "core/two_active.h"
+#include "harness/runner.h"
+#include "sim/engine.h"
+
+namespace crmc::core {
+namespace {
+
+sim::RunResult RunOnce(std::int64_t population, std::int32_t channels,
+                       std::uint64_t seed, bool stop_when_solved = true) {
+  sim::EngineConfig config;
+  config.population = population;
+  config.num_active = 2;
+  config.channels = channels;
+  config.seed = seed;
+  config.stop_when_solved = stop_when_solved;
+  config.max_rounds = 1'000'000;
+  return sim::Engine::Run(config, MakeTwoActive());
+}
+
+// Exhaustive-ish correctness sweep: (n, C) grid x many seeds.
+using SweepParams = std::tuple<std::int64_t, std::int32_t>;
+class TwoActiveSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(TwoActiveSweep, SolvesAndTerminates) {
+  const auto [population, channels] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const sim::RunResult r = RunOnce(population, channels, seed,
+                                     /*stop_when_solved=*/false);
+    ASSERT_TRUE(r.solved) << "n=" << population << " C=" << channels
+                          << " seed=" << seed;
+    ASSERT_TRUE(r.all_terminated);
+    ASSERT_FALSE(r.timed_out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TwoActiveSweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(2, 3, 8, 100, 1024,
+                                                       100000),
+                       ::testing::Values<std::int32_t>(1, 2, 3, 4, 7, 16, 64,
+                                                       1024)));
+
+TEST(TwoActive, SolvesWithMoreChannelsThanNodes) {
+  // The C > n case: the algorithm must cap itself to ~n channels.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const sim::RunResult r = RunOnce(/*population=*/4, /*channels=*/4096,
+                                     seed, false);
+    ASSERT_TRUE(r.solved);
+    ASSERT_TRUE(r.all_terminated);
+  }
+}
+
+TEST(TwoActive, RoundsTrackTheBoundShape) {
+  // Mean rounds should be within a small constant of
+  // log n / log C + log log n (Theorem 1). Generous constants: the test
+  // checks the shape, not the paper's hidden constant.
+  harness::TrialSpec spec;
+  spec.num_active = 2;
+  for (const std::int64_t n : {std::int64_t{1} << 10, std::int64_t{1} << 16,
+                               std::int64_t{1} << 20}) {
+    for (const std::int32_t c : {4, 64, 1024}) {
+      spec.population = n;
+      spec.channels = c;
+      spec.base_seed = 0xabc;
+      const double mean =
+          harness::MeanSolvedRounds(spec, MakeTwoActive(), 60);
+      const double bound = baselines::TwoActiveBoundRounds(
+          static_cast<double>(n), static_cast<double>(c));
+      EXPECT_LE(mean, 4.0 * bound + 8.0) << "n=" << n << " C=" << c;
+      EXPECT_GE(mean, 1.0);
+    }
+  }
+}
+
+TEST(TwoActive, MoreChannelsShrinkTheTail) {
+  // The theorem is a w.h.p. bound: means are uninformative (a node that
+  // happens to pick channel 1 alone during renaming "solves" the problem
+  // early, which is *more* likely with few channels). Compare the 99.9th
+  // percentile of the protocol's own completion time instead: with C = 2
+  // the renaming tail is ~log2(1/eps) rounds, with C = 1024 it collapses.
+  auto completion_tail = [](std::int32_t channels) {
+    harness::TrialSpec spec;
+    spec.num_active = 2;
+    spec.population = std::int64_t{1} << 20;
+    spec.channels = channels;
+    spec.stop_when_solved = false;  // measure algorithm completion
+    const harness::TrialSetResult r =
+        harness::RunTrials(spec, MakeTwoActive(), 5000, true);
+    std::vector<std::int64_t> completions;
+    completions.reserve(r.runs.size());
+    for (const auto& run : r.runs) completions.push_back(run.rounds_executed);
+    return harness::Quantile(completions, 0.999);
+  };
+  const double tail_c2 = completion_tail(2);
+  const double tail_c1024 = completion_tail(1024);
+  EXPECT_LT(tail_c1024, tail_c2);
+}
+
+TEST(TwoActive, SingleChannelFallbackSolves) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const sim::RunResult r = RunOnce(1024, 1, seed, false);
+    ASSERT_TRUE(r.solved);
+    ASSERT_TRUE(r.all_terminated);
+  }
+}
+
+TEST(TwoActive, PhaseMarksOrdered) {
+  const sim::RunResult r = RunOnce(1 << 16, 64, 7, false);
+  const std::int64_t rename = r.LastPhaseMark("rename_done");
+  const std::int64_t search = r.LastPhaseMark("search_done");
+  const std::int64_t solved = r.LastPhaseMark("solved");
+  ASSERT_GE(rename, 1);
+  EXPECT_GT(search, rename);
+  EXPECT_EQ(solved, search + 1);
+  EXPECT_EQ(r.solved_round, solved - 1);  // winner transmitted that round
+}
+
+TEST(TwoActive, ExactlyOneWinnerClaimsVictory) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const sim::RunResult r = RunOnce(1 << 14, 64, seed, false);
+    int winners = 0;
+    for (const auto& report : r.node_reports) {
+      if (report.phase_marks.count("solved")) ++winners;
+    }
+    EXPECT_EQ(winners, 1) << "seed=" << seed;
+  }
+}
+
+TEST(TwoActive, Stress_LargePopulationManySeeds) {
+  // n = 2^30: the ID space and tree math must hold far beyond the sizes
+  // other tests use.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const sim::RunResult r =
+        RunOnce(std::int64_t{1} << 30, 4096, seed, false);
+    ASSERT_TRUE(r.solved) << "seed=" << seed;
+    ASSERT_TRUE(r.all_terminated);
+  }
+}
+
+TEST(TwoActive, DeterministicGivenSeed) {
+  const sim::RunResult a = RunOnce(1 << 14, 32, 99);
+  const sim::RunResult b = RunOnce(1 << 14, 32, 99);
+  EXPECT_EQ(a.solved_round, b.solved_round);
+  EXPECT_EQ(a.total_transmissions, b.total_transmissions);
+}
+
+TEST(TwoActive, SearchPhaseIsLogLog) {
+  // Step 2 alone takes at most lg lg C' + 2 rounds (a binary search over
+  // lg C' + 1 levels) plus the winning broadcast.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const sim::RunResult r = RunOnce(1 << 20, 1024, seed, false);
+    const std::int64_t rename = r.LastPhaseMark("rename_done");
+    const std::int64_t search = r.LastPhaseMark("search_done");
+    const double levels = std::log2(std::log2(1024.0) + 1);
+    EXPECT_LE(search - rename, static_cast<std::int64_t>(levels) + 3)
+        << "seed=" << seed;
+  }
+}
+
+TEST(TwoActive, ChannelCapParameterLimitsChannels) {
+  // With channel_cap = 2 on a 1024-channel network the renaming step has 2
+  // channels; the completion-time tail must be worse than uncapped.
+  TwoActiveParams capped;
+  capped.channel_cap = 2;
+  harness::TrialSpec spec;
+  spec.num_active = 2;
+  spec.population = 1 << 16;
+  spec.channels = 1024;
+  spec.stop_when_solved = false;
+  auto completion_tail = [&](const sim::ProtocolFactory& factory) {
+    const harness::TrialSetResult r =
+        harness::RunTrials(spec, factory, 4000, true);
+    std::vector<std::int64_t> completions;
+    for (const auto& run : r.runs) completions.push_back(run.rounds_executed);
+    return harness::Quantile(completions, 0.999);
+  };
+  const double slow = completion_tail(MakeTwoActive(capped));
+  const double fast = completion_tail(MakeTwoActive());
+  EXPECT_LT(fast, slow);
+}
+
+}  // namespace
+}  // namespace crmc::core

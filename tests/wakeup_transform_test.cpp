@@ -1,0 +1,108 @@
+// Tests for the Section 3 non-simultaneous wakeup transform.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/general.h"
+#include "core/reduce.h"
+#include "core/two_active.h"
+#include "core/wakeup_transform.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace crmc::core {
+namespace {
+
+sim::RunResult RunStaggered(const std::vector<std::int64_t>& delays,
+                            const sim::ProtocolFactory& inner,
+                            std::int64_t population, std::int32_t channels,
+                            std::uint64_t seed) {
+  sim::EngineConfig config;
+  config.num_active = static_cast<std::int32_t>(delays.size());
+  config.population = population;
+  config.channels = channels;
+  config.seed = seed;
+  config.stop_when_solved = true;
+  config.max_rounds = 1'000'000;
+  return sim::Engine::Run(config, MakeWakeupTransform(delays, inner));
+}
+
+TEST(WakeupTransform, SimultaneousWakeStillSolves) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const sim::RunResult r = RunStaggered({0, 0}, MakeTwoActive(), 1 << 12,
+                                          64, seed);
+    ASSERT_TRUE(r.solved) << "seed=" << seed;
+  }
+}
+
+TEST(WakeupTransform, StaggeredTwoNodesSolve) {
+  // The late waker must hear the early starter's beacon and bow out; the
+  // lone starter's own beacon is a lone primary transmission, solving the
+  // problem. Delays differing by >= 1 exercise every relative parity.
+  for (std::int64_t gap = 1; gap <= 5; ++gap) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const sim::RunResult r = RunStaggered({0, gap}, MakeTwoActive(),
+                                            1 << 12, 64, seed);
+      ASSERT_TRUE(r.solved) << "gap=" << gap << " seed=" << seed;
+      // A single starter beacons alone at its third active round.
+      EXPECT_EQ(r.solved_round, 2) << "gap=" << gap;
+    }
+  }
+}
+
+TEST(WakeupTransform, ManyNodesMixedDelaysSolve) {
+  support::RandomSource rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::int64_t> delays(40);
+    for (auto& d : delays) d = rng.UniformInt(0, 6);
+    const sim::RunResult r =
+        RunStaggered(delays, MakeGeneral(), 1 << 12, 64,
+                     static_cast<std::uint64_t>(trial) + 1);
+    ASSERT_TRUE(r.solved) << "trial=" << trial;
+  }
+}
+
+TEST(WakeupTransform, AllSameDelaySolvesLikeShiftedRun) {
+  // Everyone waking at round 5 behaves like a simultaneous run shifted by
+  // 5 + 2 listening rounds, at a 2x round cost for the protocol itself.
+  std::vector<std::int64_t> delays(64, 5);
+  const sim::RunResult staggered =
+      RunStaggered(delays, MakeGeneral(), 1 << 12, 64, 7);
+  ASSERT_TRUE(staggered.solved);
+
+  sim::EngineConfig config;
+  config.num_active = 64;
+  config.population = 1 << 12;
+  config.channels = 64;
+  config.seed = 7;
+  const sim::RunResult plain = sim::Engine::Run(config, MakeGeneral());
+  ASSERT_TRUE(plain.solved);
+  // Factor-2 overhead plus the 5-round delay and the 2 listening rounds
+  // plus the leading beacon.
+  EXPECT_LE(staggered.solved_round, 2 * plain.solved_round + 10);
+}
+
+TEST(WakeupTransform, LateWakersDoNotDisturbEarlierCohort) {
+  // One early node (delay 0) and many late nodes. The early node starts
+  // alone: its first beacon solves the problem at round 2, regardless of
+  // how many nodes pile in afterwards.
+  std::vector<std::int64_t> delays(32, 4);
+  delays[0] = 0;
+  const sim::RunResult r =
+      RunStaggered(delays, MakeGeneral(), 1 << 12, 64, 11);
+  ASSERT_TRUE(r.solved);
+  EXPECT_EQ(r.solved_round, 2);
+}
+
+TEST(WakeupTransform, RejectsWrongDelayCount) {
+  sim::EngineConfig config;
+  config.num_active = 3;
+  config.channels = 4;
+  config.seed = 1;
+  EXPECT_THROW(
+      sim::Engine::Run(config, MakeWakeupTransform({0, 1}, MakeGeneral())),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crmc::core

@@ -1,0 +1,246 @@
+// crmc — command-line front end for the library.
+//
+//   crmc run   [--algo general] [--active 100] [--population 1048576]
+//              [--channels 64] [--seed 1] [--cd strong|receiver|none]
+//              [--trace] [--run-to-completion]
+//   crmc race  [--active 2] [--population N] [--channels C] [--trials 200]
+//   crmc sweep --vary channels --values 2,8,32,128,512
+//              [--algo general] [--active 4096] [--population N]
+//              [--trials 100] [--quantile 0.95]
+//   crmc estimate [--active 512] [--population N] [--channels 64]
+//              [--estimator geometric|density]
+//   crmc drain [--packets 16] [--population N] [--channels C] [--seed 1]
+//   crmc list
+//
+// Set CRMC_OUTPUT=csv for machine-readable tables.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/estimation.h"
+#include "core/k_selection.h"
+#include "harness/flags.h"
+#include "harness/registry.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace crmc;
+
+[[noreturn]] void Usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: crmc <command> [flags]\n"
+      "commands:\n"
+      "  run       one execution; prints outcome, phases, optional trace\n"
+      "  race      all algorithms on one instance (mean/p95/max rounds)\n"
+      "  sweep     one algorithm across a parameter range\n"
+      "  estimate  active-count estimation (geometric or density)\n"
+      "  drain     k-selection: deliver every active node's packet\n"
+      "  list      registered algorithms\n"
+      "common flags: --active N  --population N  --channels C  --seed S\n"
+      "run flags:    --algo NAME  --cd strong|receiver|none  --trace\n"
+      "              --run-to-completion\n"
+      "sweep flags:  --algo NAME --vary channels|active --values a,b,c\n"
+      "              --trials T --quantile Q\n";
+  std::exit(2);
+}
+
+mac::CdModel ParseCd(const std::string& name) {
+  if (name == "strong") return mac::CdModel::kStrong;
+  if (name == "receiver") return mac::CdModel::kReceiverOnly;
+  if (name == "none") return mac::CdModel::kNone;
+  Usage("unknown CD model '" + name + "'");
+}
+
+std::vector<std::int64_t> ParseValues(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  if (out.empty()) Usage("--values expects a comma-separated list");
+  return out;
+}
+
+sim::EngineConfig BaseConfig(const harness::Flags& flags) {
+  sim::EngineConfig config;
+  config.num_active =
+      static_cast<std::int32_t>(flags.GetIntOr("active", 100));
+  config.population = flags.GetIntOr("population", 1 << 20);
+  config.channels =
+      static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
+  config.seed = static_cast<std::uint64_t>(flags.GetIntOr("seed", 1));
+  return config;
+}
+
+void RejectUnknownFlags(const harness::Flags& flags) {
+  const auto unknown = flags.UnconsumedFlags();
+  if (!unknown.empty()) Usage("unknown flag --" + unknown.front());
+}
+
+int CmdList() {
+  harness::Table table({"name", "description"});
+  for (const harness::AlgorithmInfo& info : harness::Algorithms()) {
+    table.Row().Cells(info.name, info.description);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdRun(const harness::Flags& flags) {
+  sim::EngineConfig config = BaseConfig(flags);
+  const std::string algo = flags.GetStringOr("algo", "general");
+  config.cd_model = ParseCd(flags.GetStringOr("cd", "strong"));
+  config.record_trace = flags.GetBoolOr("trace", false);
+  config.stop_when_solved = !flags.GetBoolOr("run-to-completion", false);
+  config.max_rounds = flags.GetIntOr("max-rounds", 4'000'000);
+  RejectUnknownFlags(flags);
+
+  const harness::AlgorithmInfo& info = harness::AlgorithmByName(algo);
+  if (info.requires_two_active && config.num_active != 2) {
+    std::cerr << "note: " << algo << " is specified for --active 2; "
+              << "forcing it\n";
+    config.num_active = 2;
+  }
+  const sim::RunResult r = sim::Engine::Run(config, info.make());
+
+  if (config.record_trace) {
+    sim::RenderTrace(r.trace,
+                     std::min<mac::ChannelId>(config.channels, 100), 80,
+                     std::cout);
+    std::cout << "\n";
+  }
+  if (r.solved) {
+    std::cout << "solved in round " << r.solved_round + 1 << "\n";
+  } else {
+    std::cout << "NOT solved within " << r.rounds_executed << " rounds\n";
+  }
+  std::cout << "rounds executed: " << r.rounds_executed
+            << ", transmissions: " << r.total_transmissions
+            << " (max per node " << r.max_node_transmissions << ")\n";
+  for (const char* phase : {"reduce_done", "rename_done", "elect_done"}) {
+    const std::int64_t mark = r.LastPhaseMark(phase);
+    // Marks record the round index after the step = rounds consumed.
+    if (mark >= 0) std::cout << phase << " after round " << mark << "\n";
+  }
+  return r.solved ? 0 : 1;
+}
+
+int CmdRace(const harness::Flags& flags) {
+  harness::TrialSpec spec;
+  spec.num_active = static_cast<std::int32_t>(flags.GetIntOr("active", 100));
+  spec.population = flags.GetIntOr("population", 1 << 20);
+  spec.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
+  const auto trials = static_cast<std::int32_t>(flags.GetIntOr("trials", 200));
+  RejectUnknownFlags(flags);
+
+  harness::Table table({"algorithm", "mean", "p95", "max", "unsolved"});
+  for (const harness::AlgorithmInfo& info : harness::Algorithms()) {
+    if (info.requires_two_active && spec.num_active != 2) continue;
+    const harness::TrialSetResult r =
+        harness::RunTrials(spec, info.make(), trials);
+    table.Row().Cells(info.name, r.summary.mean, r.summary.p95,
+                      r.summary.max,
+                      static_cast<std::int64_t>(r.unsolved));
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdSweep(const harness::Flags& flags) {
+  const std::string algo = flags.GetStringOr("algo", "general");
+  const std::string vary = flags.GetStringOr("vary", "channels");
+  const auto values =
+      ParseValues(flags.GetStringOr("values", "2,8,32,128,512,2048"));
+  const auto trials = static_cast<std::int32_t>(flags.GetIntOr("trials", 100));
+  const double quantile = flags.GetDoubleOr("quantile", 0.95);
+  harness::TrialSpec base;
+  base.num_active = static_cast<std::int32_t>(flags.GetIntOr("active", 4096));
+  base.population = flags.GetIntOr("population", 1 << 20);
+  base.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
+  RejectUnknownFlags(flags);
+  if (vary != "channels" && vary != "active") {
+    Usage("--vary must be 'channels' or 'active'");
+  }
+
+  const auto factory = harness::AlgorithmByName(algo).make();
+  harness::Table table({vary, "mean", "q" + harness::FormatDouble(quantile, 2),
+                        "max"});
+  for (const std::int64_t v : values) {
+    harness::TrialSpec spec = base;
+    if (vary == "channels") {
+      spec.channels = static_cast<std::int32_t>(v);
+    } else {
+      spec.num_active = static_cast<std::int32_t>(v);
+    }
+    const harness::TrialSetResult r =
+        harness::RunTrials(spec, factory, trials);
+    table.Row().Cells(v, r.summary.mean,
+                      harness::Quantile(r.solved_rounds, quantile),
+                      r.summary.max);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdEstimate(const harness::Flags& flags) {
+  sim::EngineConfig config = BaseConfig(flags);
+  const std::string estimator =
+      flags.GetStringOr("estimator", "geometric");
+  RejectUnknownFlags(flags);
+  config.stop_when_solved = false;
+  const auto factory = estimator == "geometric"
+                           ? core::MakeGeometricEstimateOnly()
+                       : estimator == "density"
+                           ? core::MakeDensityEstimateOnly()
+                           : (Usage("unknown estimator '" + estimator + "'"),
+                              sim::ProtocolFactory{});
+  const sim::RunResult r = sim::Engine::Run(config, factory);
+  const auto exponents = r.MetricValues("estimate_log2");
+  std::cout << "agreed estimate: 2^" << exponents.front() << " = "
+            << (std::int64_t{1} << exponents.front()) << "  (true |A| = "
+            << config.num_active << ") in " << r.rounds_executed
+            << " rounds\n";
+  return 0;
+}
+
+int CmdDrain(const harness::Flags& flags) {
+  sim::EngineConfig config = BaseConfig(flags);
+  config.num_active =
+      static_cast<std::int32_t>(flags.GetIntOr("packets", 16));
+  RejectUnknownFlags(flags);
+  config.stop_when_solved = false;
+  config.max_rounds = 16'000'000;
+  const sim::RunResult r =
+      sim::Engine::Run(config, core::MakeKSelection());
+  std::cout << "delivered " << r.MetricValues("delivered_instance").size()
+            << "/" << config.num_active << " packets in "
+            << r.rounds_executed << " rounds\n";
+  return r.all_terminated ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string command = argv[1];
+  const harness::Flags flags = harness::Flags::Parse(argc - 1, argv + 1);
+  try {
+    if (command == "list") return CmdList();
+    if (command == "run") return CmdRun(flags);
+    if (command == "race") return CmdRace(flags);
+    if (command == "sweep") return CmdSweep(flags);
+    if (command == "estimate") return CmdEstimate(flags);
+    if (command == "drain") return CmdDrain(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  Usage("unknown command '" + command + "'");
+}
