@@ -1,0 +1,158 @@
+#include "harness/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.h"
+
+namespace crmc::harness {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Indent(std::size_t depth) {
+  for (std::size_t i = 0; i < depth; ++i) os_ << "  ";
+}
+
+void JsonWriter::BeforeValue() {
+  CRMC_REQUIRE_MSG(!done_, "JsonWriter: write after Finish()");
+  if (stack_.empty()) {
+    // Document root: only a single top-level value is allowed.
+    CRMC_REQUIRE_MSG(!pending_key_, "JsonWriter: Key() at document root");
+    return;
+  }
+  Scope& top = stack_.back();
+  if (top.is_object) {
+    CRMC_REQUIRE_MSG(pending_key_,
+                     "JsonWriter: value inside an object needs a Key()");
+    pending_key_ = false;
+  } else {
+    CRMC_REQUIRE_MSG(!pending_key_, "JsonWriter: Key() inside an array");
+    if (!top.empty) os_ << ',';
+    os_ << '\n';
+    Indent(stack_.size());
+  }
+  top.empty = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  os_ << '{';
+  stack_.push_back(Scope{/*is_object=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CRMC_REQUIRE_MSG(!stack_.empty() && stack_.back().is_object,
+                   "JsonWriter: EndObject with no open object");
+  CRMC_REQUIRE_MSG(!pending_key_, "JsonWriter: EndObject after dangling Key");
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) {
+    os_ << '\n';
+    Indent(stack_.size());
+  }
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  os_ << '[';
+  stack_.push_back(Scope{/*is_object=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CRMC_REQUIRE_MSG(!stack_.empty() && !stack_.back().is_object,
+                   "JsonWriter: EndArray with no open array");
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) {
+    os_ << '\n';
+    Indent(stack_.size());
+  }
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  CRMC_REQUIRE_MSG(!stack_.empty() && stack_.back().is_object,
+                   "JsonWriter: Key() outside an object");
+  CRMC_REQUIRE_MSG(!pending_key_, "JsonWriter: two Key() calls in a row");
+  Scope& top = stack_.back();
+  if (!top.empty) os_ << ',';
+  os_ << '\n';
+  Indent(stack_.size());
+  os_ << '"' << JsonEscape(name) << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  BeforeValue();
+  os_ << '"' << JsonEscape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t v) {
+  BeforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  CRMC_REQUIRE_MSG(std::isfinite(v), "JsonWriter: non-finite double");
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeValue();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+void JsonWriter::Finish() {
+  CRMC_REQUIRE_MSG(stack_.empty(), "JsonWriter: Finish() with open scopes");
+  CRMC_REQUIRE_MSG(!done_, "JsonWriter: Finish() called twice");
+  os_ << '\n';
+  done_ = true;
+}
+
+}  // namespace crmc::harness

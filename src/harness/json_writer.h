@@ -1,0 +1,73 @@
+// Minimal streaming JSON writer for machine-readable bench artifacts
+// (e.g. BENCH_engine.json). No external dependency: the writer tracks the
+// open object/array nesting and handles commas, indentation, and string
+// escaping so call sites only state structure.
+//
+// Usage:
+//   JsonWriter w(os);
+//   w.BeginObject();
+//   w.Key("schema").Value("crmc.bench_engine.v1");
+//   w.Key("points").BeginArray();
+//   ...
+//   w.EndArray();
+//   w.EndObject();
+//
+// Mis-nesting (EndObject inside an array, a Value with no pending Key
+// inside an object, two Keys in a row, ...) trips a CRMC_REQUIRE.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crmc::harness {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Inside an object: names the next value. Must be followed by exactly
+  // one Value/Begin* call.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(std::int32_t v) {
+    return Value(static_cast<std::int64_t>(v));
+  }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(bool v);
+
+  // Finishes the document: requires all scopes closed, emits the trailing
+  // newline.
+  void Finish();
+
+ private:
+  // Emits the comma/newline/indent that precedes a new element, and
+  // consumes a pending Key if one is open.
+  void BeforeValue();
+  void Indent(std::size_t depth);
+
+  std::ostream& os_;
+  struct Scope {
+    bool is_object;
+    bool empty = true;
+  };
+  std::vector<Scope> stack_;
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+// Escapes a string for inclusion in a JSON document (adds no quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace crmc::harness

@@ -17,6 +17,16 @@ sim::ProtocolFactory MakeTwoActiveDefault() {
 }
 sim::ProtocolFactory MakeGeneralDefault() { return core::MakeGeneral(); }
 
+sim::StepProgramFactory MakeTwoActiveStep() {
+  return []() { return sim::MakeTwoActiveProgram(); };
+}
+sim::StepProgramFactory MakeGeneralStep() {
+  return []() { return sim::MakeGeneralProgram(); };
+}
+sim::StepProgramFactory MakeKnockoutCdStep() {
+  return []() { return sim::MakeKnockoutCdProgram(); };
+}
+
 }  // namespace
 
 const std::vector<AlgorithmInfo>& Algorithms() {
@@ -24,14 +34,14 @@ const std::vector<AlgorithmInfo>& Algorithms() {
       {"two_active",
        "paper Sec. 4: optimal O(log n/log C + loglog n) for |A| = 2",
        /*requires_two_active=*/true, /*oracle=*/false,
-       /*self_terminating=*/true, &MakeTwoActiveDefault},
+       /*self_terminating=*/true, &MakeTwoActiveDefault, &MakeTwoActiveStep},
       {"general",
        "paper Sec. 5: O(log n/log C + loglog n * logloglog n), any |A|",
-       false, false, true, &MakeGeneralDefault},
+       false, false, true, &MakeGeneralDefault, &MakeGeneralStep},
       {"knockout_cd",
        "classic 1-channel CD knockout, Theta(log n); the paper's C = O(1) "
        "fallback",
-       false, false, true, &core::MakeKnockoutCd},
+       false, false, true, &core::MakeKnockoutCd, &MakeKnockoutCdStep},
       {"binary_descent_cd",
        "classic 1-channel CD binary descent over IDs, <= ceil(lg n)+1 "
        "rounds, probability 1",
@@ -55,6 +65,13 @@ const std::vector<AlgorithmInfo>& Algorithms() {
        false, true, true, &baselines::MakeAlohaOracle},
   };
   return kAlgorithms;
+}
+
+ProtocolHandle HandleFor(const AlgorithmInfo& info) {
+  if (info.make_step != nullptr) {
+    return ProtocolHandle(info.make(), info.make_step());
+  }
+  return ProtocolHandle(info.make());
 }
 
 const AlgorithmInfo& AlgorithmByName(const std::string& name) {

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "harness/runner.h"
 #include "sim/engine.h"
+#include "sim/step_program.h"
 
 namespace crmc::harness {
 
@@ -17,6 +19,9 @@ struct AlgorithmInfo {
   bool oracle = false;               // cheats (knows |A|)
   bool self_terminating = false;     // nodes detect completion themselves
   sim::ProtocolFactory (*make)() = nullptr;
+  // Columnar twin for the BatchEngine fast path; null when the algorithm
+  // has no step program (it then always runs on the coroutine engine).
+  sim::StepProgramFactory (*make_step)() = nullptr;
 };
 
 // All registered algorithms (paper algorithms first, then baselines).
@@ -24,5 +29,9 @@ const std::vector<AlgorithmInfo>& Algorithms();
 
 // Lookup by name; throws std::invalid_argument listing valid names.
 const AlgorithmInfo& AlgorithmByName(const std::string& name);
+
+// The runnable handle for an algorithm: its coroutine factory plus, when
+// registered, its step-program twin (enabling the RunTrials fast path).
+ProtocolHandle HandleFor(const AlgorithmInfo& info);
 
 }  // namespace crmc::harness

@@ -3,24 +3,33 @@
 #include <atomic>
 #include <thread>
 
+#include "sim/batch_engine.h"
 #include "support/assert.h"
 
 namespace crmc::harness {
 
-TrialSetResult RunTrials(const TrialSpec& spec,
-                         const sim::ProtocolFactory& protocol,
+TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
                          std::int32_t trials, bool keep_runs,
                          std::int32_t threads) {
   CRMC_REQUIRE(trials >= 1);
+  CRMC_REQUIRE(protocol.coroutine != nullptr);
   if (threads <= 0) {
     threads = static_cast<std::int32_t>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 4;
   }
   threads = std::min(threads, trials);
 
+  const bool batch = protocol.step_program != nullptr &&
+                     spec.use_batch_engine && !keep_runs;
+
   std::vector<sim::RunResult> runs(static_cast<std::size_t>(trials));
   std::atomic<std::int32_t> next{0};
   auto worker = [&]() {
+    // Per-worker scratch for the fast path: the engine and the program
+    // instance are reused across every trial this worker claims.
+    sim::BatchEngine batch_engine;
+    std::unique_ptr<sim::StepProgram> program;
+    if (batch) program = protocol.step_program();
     for (;;) {
       const std::int32_t t = next.fetch_add(1);
       if (t >= trials) return;
@@ -32,7 +41,9 @@ TrialSetResult RunTrials(const TrialSpec& spec,
       config.max_rounds = spec.max_rounds;
       config.stop_when_solved = spec.stop_when_solved;
       config.record_active_counts = spec.record_active_counts;
-      runs[static_cast<std::size_t>(t)] = sim::Engine::Run(config, protocol);
+      runs[static_cast<std::size_t>(t)] =
+          batch ? batch_engine.Run(config, *program)
+                : sim::Engine::Run(config, protocol.coroutine);
     }
   };
   if (threads == 1) {
@@ -58,8 +69,7 @@ TrialSetResult RunTrials(const TrialSpec& spec,
   return result;
 }
 
-double MeanSolvedRounds(const TrialSpec& spec,
-                        const sim::ProtocolFactory& protocol,
+double MeanSolvedRounds(const TrialSpec& spec, const ProtocolHandle& protocol,
                         std::int32_t trials) {
   const TrialSetResult r = RunTrials(spec, protocol, trials);
   CRMC_CHECK_MSG(r.unsolved == 0, r.unsolved << " of " << trials

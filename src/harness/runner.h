@@ -13,6 +13,7 @@
 
 #include "harness/stats.h"
 #include "sim/engine.h"
+#include "sim/step_program.h"
 
 namespace crmc::harness {
 
@@ -24,6 +25,26 @@ struct TrialSpec {
   std::uint64_t base_seed = 0x5eedULL;
   bool record_active_counts = false;
   bool stop_when_solved = true;
+  // Opt-out for the BatchEngine fast path: when false, trials always run
+  // on the coroutine engine even if the protocol ships a step program.
+  bool use_batch_engine = true;
+};
+
+// A protocol as the harness runs it: the coroutine factory (always present
+// — the reference semantics) plus an optional step-program factory that
+// enables the BatchEngine fast path. Implicitly constructible from a bare
+// ProtocolFactory so existing call sites keep the coroutine engine.
+struct ProtocolHandle {
+  sim::ProtocolFactory coroutine;
+  sim::StepProgramFactory step_program;  // null: coroutine engine only
+
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate adapter
+  ProtocolHandle(sim::ProtocolFactory coroutine_in)
+      : coroutine(std::move(coroutine_in)) {}
+  ProtocolHandle(sim::ProtocolFactory coroutine_in,
+                 sim::StepProgramFactory step_program_in)
+      : coroutine(std::move(coroutine_in)),
+        step_program(std::move(step_program_in)) {}
 };
 
 struct TrialSetResult {
@@ -38,14 +59,18 @@ struct TrialSetResult {
 // experiments). Trials are distributed over up to `threads` std::threads
 // (0 = hardware concurrency). The solved-round metric is reported as
 // solved_round + 1, i.e. "the problem was solved in the R-th round".
-TrialSetResult RunTrials(const TrialSpec& spec,
-                         const sim::ProtocolFactory& protocol,
+//
+// When the handle carries a step program, spec.use_batch_engine holds, and
+// keep_runs is off (step programs emit no node_reports), trials dispatch to
+// BatchEngine — one engine + program instance per worker thread, so a sweep
+// is allocation-free after its first trial. Identical results either way:
+// the shipped step programs are draw-order identical to their coroutines.
+TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
                          std::int32_t trials, bool keep_runs = false,
                          std::int32_t threads = 0);
 
 // Convenience: mean solved rounds (asserts all trials solved).
-double MeanSolvedRounds(const TrialSpec& spec,
-                        const sim::ProtocolFactory& protocol,
+double MeanSolvedRounds(const TrialSpec& spec, const ProtocolHandle& protocol,
                         std::int32_t trials);
 
 }  // namespace crmc::harness

@@ -1,0 +1,118 @@
+#include "sim/batch_engine.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace crmc::sim {
+
+RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
+  CRMC_REQUIRE_MSG(config.num_active >= 1,
+                   "need at least one activated node");
+  CRMC_REQUIRE(config.channels >= 1);
+  CRMC_REQUIRE(config.max_rounds >= 1);
+  const std::int64_t population =
+      config.population == 0 ? config.num_active : config.population;
+  CRMC_REQUIRE_MSG(population >= config.num_active,
+                   "population " << population << " < activated nodes "
+                                 << config.num_active);
+
+  const auto n = static_cast<std::size_t>(config.num_active);
+
+  // Same ID and per-node stream derivation as Engine::Run, so a program
+  // that consumes ctx.rng[s] sees the bit stream node s's coroutine would.
+  support::RandomSource id_rng =
+      support::RandomSource::ForStream(config.seed, 0x1d5eed);
+  unique_ids_ =
+      support::SampleWithoutReplacement(population, config.num_active, id_rng);
+  rng_.clear();
+  rng_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rng_.push_back(support::RandomSource::ForStream(
+        config.seed, static_cast<std::uint64_t>(i) + 1));
+  }
+
+  BatchContext ctx;
+  ctx.population = population;
+  ctx.num_active = config.num_active;
+  ctx.channels = config.channels;
+  ctx.rng = rng_;
+  ctx.unique_ids = unique_ids_;
+  program.Reset(ctx);
+
+  alive_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alive_[i] = static_cast<NodeId>(i);
+  node_tx_.assign(n, 0);
+
+  if (!resolver_ || resolver_->num_channels() != config.channels ||
+      resolver_->cd_model() != config.cd_model) {
+    resolver_.emplace(config.channels, config.cd_model);
+  }
+
+  RunResult result;
+  std::int64_t round = 0;
+  while (!alive_.empty() && round < config.max_rounds) {
+    const std::size_t m = alive_.size();
+    if (config.record_active_counts) {
+      result.active_counts.push_back(static_cast<std::int64_t>(m));
+    }
+    ctx.round = round;
+
+    actions_.resize(m);
+    program.EmitActions(ctx, alive_, actions_);
+
+    for (std::size_t k = 0; k < m; ++k) {
+      if (actions_[k].channel != mac::kIdleChannel && actions_[k].transmit) {
+        ++node_tx_[static_cast<std::size_t>(alive_[k])];
+      }
+    }
+
+    // Dense alive-only span: the resolver's sparse touched_channels path
+    // makes this O(m), independent of num_active and C.
+    const mac::RoundSummary summary = resolver_->Resolve(actions_, feedback_);
+    result.total_transmissions += summary.total_transmissions;
+    if (config.record_trace) {
+      RoundTrace rt;
+      rt.round = round;
+      for (const mac::ChannelId ch : resolver_->touched_channels()) {
+        const mac::ChannelActivity& act = resolver_->ActivityOf(ch);
+        rt.events.push_back(
+            ChannelTraceEvent{ch, act.transmitters, act.listeners});
+      }
+      result.trace.push_back(std::move(rt));
+    }
+    if (summary.primary_transmitters == 1) {
+      if (!result.solved) {
+        result.solved = true;
+        result.solved_round = round;
+      }
+      result.all_solved_rounds.push_back(round);
+    }
+    ++round;
+    if (result.solved && config.stop_when_solved) break;
+
+    finished_.assign(m, 0);
+    program.Advance(ctx, alive_, actions_, feedback_, finished_);
+    std::size_t write = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (!finished_[k]) alive_[write++] = alive_[k];
+    }
+    alive_.resize(write);
+  }
+
+  result.rounds_executed = round;
+  result.all_terminated = alive_.empty();
+  for (const std::int64_t tx : node_tx_) {
+    result.max_node_transmissions = std::max(result.max_node_transmissions, tx);
+    result.mean_node_transmissions += static_cast<double>(tx);
+  }
+  result.mean_node_transmissions /= static_cast<double>(config.num_active);
+  if (config.record_node_transmissions) {
+    result.node_transmissions = node_tx_;
+  }
+  result.timed_out = !alive_.empty() && round >= config.max_rounds &&
+                     !(result.solved && config.stop_when_solved);
+  return result;
+}
+
+}  // namespace crmc::sim

@@ -1,0 +1,59 @@
+// Columnar fast-path executor for step programs.
+//
+// BatchEngine::Run executes the same model as Engine::Run (sim/engine.h)
+// but drives a StepProgram (sim/step_program.h) instead of per-node
+// coroutines: node state lives in flat arrays, each round is two linear
+// sweeps over the alive prefix, and only alive nodes' actions are handed to
+// mac::Resolver — whose touched_channels scratch keeps resolution O(alive)
+// per round instead of O(num_active) or O(C).
+//
+// The engine instance owns all scratch (RNG columns, action/feedback
+// buffers, the resolver) and reuses it across Run calls, so a Monte-Carlo
+// sweep of trials is allocation-free after the first trial of a given
+// shape. One instance per thread; Run is not reentrant.
+//
+// For programs with identical_draw_order() (all shipped ones), the
+// RunResult is bit-exact against Engine::Run on the same EngineConfig:
+// solved/solved_round/all_solved_rounds, rounds_executed, timed_out,
+// all_terminated, total_transmissions, the node-transmission summaries,
+// active_counts and trace all match. node_reports stays empty — step
+// programs carry no per-node instrumentation — and the coroutine engine's
+// auto-beacon (wakeup transform) mode has no step-program counterpart.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mac/resolver.h"
+#include "sim/engine.h"
+#include "sim/step_program.h"
+#include "support/rng.h"
+
+namespace crmc::sim {
+
+class BatchEngine {
+ public:
+  // Runs one execution of `program` under `config`. The program is Reset
+  // at the start of the run; it must outlive the call.
+  RunResult Run(const EngineConfig& config, StepProgram& program);
+
+  // One-shot convenience mirroring Engine::Run (pays the scratch
+  // allocations every call; sweeps should hold a BatchEngine instead).
+  static RunResult RunOnce(const EngineConfig& config, StepProgram& program) {
+    BatchEngine engine;
+    return engine.Run(config, program);
+  }
+
+ private:
+  std::optional<mac::Resolver> resolver_;
+  std::vector<support::RandomSource> rng_;
+  std::vector<std::int64_t> unique_ids_;
+  std::vector<NodeId> alive_;
+  std::vector<mac::Action> actions_;
+  std::vector<mac::Feedback> feedback_;
+  std::vector<std::uint8_t> finished_;
+  std::vector<std::int64_t> node_tx_;
+};
+
+}  // namespace crmc::sim

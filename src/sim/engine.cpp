@@ -9,7 +9,36 @@
 
 namespace crmc::sim {
 
+namespace {
+
+// Below this many node_reports a direct scan beats building the index.
+constexpr std::size_t kReportIndexThreshold = 16;
+
+}  // namespace
+
+const RunResult::ReportIndex& RunResult::Index() const {
+  if (!report_index_) {
+    auto idx = std::make_shared<ReportIndex>();
+    for (const NodeReport& r : node_reports) {
+      for (const auto& [key, value] : r.phase_marks) {
+        auto [it, inserted] = idx->last_phase_marks.try_emplace(key, value);
+        if (!inserted && value > it->second) it->second = value;
+      }
+      for (const auto& [key, value] : r.metrics) {
+        idx->metric_values[key].push_back(value);  // node order preserved
+      }
+    }
+    report_index_ = std::move(idx);
+  }
+  return *report_index_;
+}
+
 std::int64_t RunResult::LastPhaseMark(const std::string& name) const {
+  if (node_reports.size() >= kReportIndexThreshold) {
+    const ReportIndex& idx = Index();
+    const auto it = idx.last_phase_marks.find(name);
+    return it == idx.last_phase_marks.end() ? -1 : it->second;
+  }
   std::int64_t best = -1;
   for (const NodeReport& r : node_reports) {
     auto it = r.phase_marks.find(name);
@@ -20,6 +49,12 @@ std::int64_t RunResult::LastPhaseMark(const std::string& name) const {
 
 std::vector<std::int64_t> RunResult::MetricValues(
     const std::string& name) const {
+  if (node_reports.size() >= kReportIndexThreshold) {
+    const ReportIndex& idx = Index();
+    const auto it = idx.metric_values.find(name);
+    return it == idx.metric_values.end() ? std::vector<std::int64_t>{}
+                                         : it->second;
+  }
   std::vector<std::int64_t> out;
   for (const NodeReport& r : node_reports) {
     for (const auto& [key, value] : r.metrics) {

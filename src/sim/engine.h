@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,20 @@ struct RunResult {
   std::int64_t LastPhaseMark(const std::string& name) const;
   // All values recorded under `name`, in node order.
   std::vector<std::int64_t> MetricValues(const std::string& name) const;
+
+ private:
+  // Both accessors scan every node_report per call; experiments query a
+  // handful of names over thousands of nodes, so once node_reports is
+  // large the accessors build this name-keyed index in one pass and answer
+  // from it. shared_ptr keeps RunResult cheaply copyable; the index is
+  // derived data, safe to share between copies (node_reports is only
+  // written while the engine builds the result, before any accessor call).
+  struct ReportIndex {
+    std::map<std::string, std::int64_t> last_phase_marks;
+    std::map<std::string, std::vector<std::int64_t>> metric_values;
+  };
+  const ReportIndex& Index() const;
+  mutable std::shared_ptr<const ReportIndex> report_index_;
 };
 
 class Engine {

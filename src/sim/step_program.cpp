@@ -1,0 +1,813 @@
+#include "sim/step_program.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "core/channel_budget.h"
+#include "support/assert.h"
+#include "support/bits.h"
+#include "tree/channel_tree.h"
+
+namespace crmc::sim {
+namespace {
+
+using mac::Action;
+using mac::Feedback;
+using mac::kPrimaryChannel;
+using support::BatchBernoulli;
+using support::BatchUniformInt;
+using tree::ChannelTree;
+
+// ---------------------------------------------------------------------------
+// TwoActive (core/two_active.cpp flattened). Phase tags mirror the
+// coroutine's control flow: uniform renaming, SplitCheck binary search,
+// final primary-channel round — or the single-channel coin-flip duel.
+
+class TwoActiveProgram final : public StepProgram {
+ public:
+  explicit TwoActiveProgram(core::TwoActiveParams params) : params_(params) {}
+
+  std::string_view name() const override { return "two_active"; }
+
+  void Reset(const BatchContext& ctx) override {
+    channels_ = core::EffectiveChannels(ctx.channels, ctx.population);
+    if (params_.channel_cap > 0) {
+      channels_ = std::min(
+          channels_, static_cast<std::int32_t>(support::FloorPow2(
+                         static_cast<std::uint64_t>(params_.channel_cap))));
+    }
+    duel_ = channels_ < 2;
+    if (!duel_) {
+      tree_.emplace(channels_);
+      rename_draw_.emplace(1, channels_);
+    }
+    const auto n = static_cast<std::size_t>(ctx.num_active);
+    phase_.assign(n, duel_ ? kDuel : kRename);
+    id_.assign(n, 0);
+    lo_.assign(n, 0);
+    hi_.assign(n, 0);
+  }
+
+  void EmitActions(const BatchContext& ctx, std::span<const NodeId> alive,
+                   std::span<Action> actions) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const auto s = static_cast<std::size_t>(alive[k]);
+      support::RandomSource& rng = ctx.rng[s];
+      switch (phase_[s]) {
+        case kDuel:
+          actions[k] = coin_.Draw(rng) ? Action::Transmit(kPrimaryChannel)
+                                       : Action::Listen(kPrimaryChannel);
+          break;
+        case kRename:
+          id_[s] = static_cast<std::int32_t>(rename_draw_->Draw(rng));
+          actions[k] = Action::Transmit(static_cast<mac::ChannelId>(id_[s]));
+          break;
+        case kSearch: {
+          const std::int32_t mid = (lo_[s] + hi_[s]) / 2;
+          actions[k] = Action::Transmit(static_cast<mac::ChannelId>(
+              tree_->IndexWithinLevel(id_[s], mid)));
+          break;
+        }
+        case kFinalTx:
+          actions[k] = Action::Transmit(kPrimaryChannel);
+          break;
+        case kFinalListen:
+          actions[k] = Action::Listen(kPrimaryChannel);
+          break;
+      }
+    }
+  }
+
+  void Advance(const BatchContext&, std::span<const NodeId> alive,
+               std::span<const Action> actions,
+               std::span<const Feedback> feedback,
+               std::span<std::uint8_t> finished) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const auto s = static_cast<std::size_t>(alive[k]);
+      const Feedback& fb = feedback[k];
+      switch (phase_[s]) {
+        case kDuel:
+          // Winner hears itself alone; loser hears the winner's message.
+          if (fb.MessageHeard()) finished[k] = 1;
+          break;
+        case kRename:
+          CRMC_PROTO_CHECK(!fb.Silence());
+          if (fb.MessageHeard()) {  // alone: channel label becomes the ID
+            phase_[s] = kSearch;
+            lo_[s] = 0;
+            hi_[s] = tree_->height();
+          }
+          break;
+        case kSearch: {
+          CRMC_PROTO_CHECK(!fb.Silence());
+          const std::int32_t mid = (lo_[s] + hi_[s]) / 2;
+          if (fb.Collision()) {
+            lo_[s] = mid + 1;  // still shared at `mid`: divergence is deeper
+          } else {
+            hi_[s] = mid;
+          }
+          if (lo_[s] >= hi_[s]) {
+            const std::int32_t split = lo_[s];
+            CRMC_PROTO_CHECK_MSG(split >= 1,
+                                 "paths cannot diverge at the root");
+            phase_[s] = tree_->AncestorIsLeftChild(id_[s], split)
+                            ? kFinalTx
+                            : kFinalListen;
+          }
+          break;
+        }
+        case kFinalTx:
+          CRMC_PROTO_CHECK_MSG(
+              fb.MessageHeard(),
+              "two-active winner was not alone on the primary channel");
+          finished[k] = 1;
+          break;
+        case kFinalListen:
+          finished[k] = 1;
+          break;
+      }
+      (void)actions;
+    }
+  }
+
+ private:
+  enum Phase : std::uint8_t { kDuel, kRename, kSearch, kFinalTx, kFinalListen };
+
+  core::TwoActiveParams params_;
+  std::int32_t channels_ = 0;
+  bool duel_ = false;
+  std::optional<ChannelTree> tree_;
+  std::optional<BatchUniformInt> rename_draw_;
+  BatchBernoulli coin_{0.5};
+
+  std::vector<std::uint8_t> phase_;
+  std::vector<std::int32_t> id_;  // renamed channel label / duel unused
+  std::vector<std::int32_t> lo_;
+  std::vector<std::int32_t> hi_;
+};
+
+// ---------------------------------------------------------------------------
+// The Reduce knockout schedule (Figure 2): two rounds per iteration at
+// probability 1/n_hat, n_hat square-rooted between iterations. Shared by
+// the standalone Reduce program and the composed general program; the
+// prepared Bernoullis amortize the threshold computation across all nodes
+// of a round.
+
+std::vector<BatchBernoulli> BuildReduceSchedule(std::int64_t population,
+                                                core::ReduceParams params) {
+  const std::int32_t iterations =
+      support::CeilLgLg(
+          static_cast<std::uint64_t>(population < 2 ? 2 : population)) +
+      params.extra_iterations;
+  std::vector<BatchBernoulli> sched;
+  sched.reserve(static_cast<std::size_t>(iterations) * 2);
+  double n_hat = static_cast<double>(population);
+  for (std::int32_t iter = 0; iter < iterations; ++iter) {
+    const BatchBernoulli b(1.0 / n_hat);
+    sched.push_back(b);
+    sched.push_back(b);
+    n_hat = std::sqrt(n_hat);
+    if (n_hat < 2.0) n_hat = 2.0;
+  }
+  return sched;
+}
+
+class ReduceProgram final : public StepProgram {
+ public:
+  explicit ReduceProgram(core::ReduceParams params) : params_(params) {}
+
+  std::string_view name() const override { return "reduce"; }
+
+  void Reset(const BatchContext& ctx) override {
+    sched_ = BuildReduceSchedule(ctx.population, params_);
+    step_.assign(static_cast<std::size_t>(ctx.num_active), 0);
+  }
+
+  void EmitActions(const BatchContext& ctx, std::span<const NodeId> alive,
+                   std::span<Action> actions) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const auto s = static_cast<std::size_t>(alive[k]);
+      const bool tx =
+          sched_[static_cast<std::size_t>(step_[s])].Draw(ctx.rng[s]);
+      actions[k] = tx ? Action::Transmit(kPrimaryChannel)
+                      : Action::Listen(kPrimaryChannel);
+    }
+  }
+
+  void Advance(const BatchContext&, std::span<const NodeId> alive,
+               std::span<const Action> actions,
+               std::span<const Feedback> feedback,
+               std::span<std::uint8_t> finished) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const auto s = static_cast<std::size_t>(alive[k]);
+      const Feedback& fb = feedback[k];
+      if (actions[k].transmit) {
+        CRMC_PROTO_CHECK(!fb.Silence());
+        if (fb.MessageHeard()) {  // alone: leader, problem solved
+          finished[k] = 1;
+          continue;
+        }
+      } else if (!fb.Silence()) {  // heard a survivor: knocked out
+        finished[k] = 1;
+        continue;
+      }
+      if (static_cast<std::size_t>(++step_[s]) == sched_.size()) {
+        finished[k] = 1;  // schedule over: survivor terminates
+      }
+    }
+  }
+
+ private:
+  core::ReduceParams params_;
+  std::vector<BatchBernoulli> sched_;
+  std::vector<std::int32_t> step_;  // index into sched_
+};
+
+// ---------------------------------------------------------------------------
+// IDReduction (core/id_reduction.cpp flattened): a three-round cycle of
+// spread / confirm / knockout until renaming succeeds.
+
+class IdReductionProgram final : public StepProgram {
+ public:
+  explicit IdReductionProgram(core::IdReductionParams params)
+      : params_(params) {}
+
+  std::string_view name() const override { return "id_reduction"; }
+
+  void Reset(const BatchContext& ctx) override {
+    const std::int32_t eff =
+        core::EffectiveChannels(ctx.channels, ctx.population);
+    CRMC_REQUIRE_MSG(eff >= 4,
+                     "IDReduction needs at least 4 effective channels, got "
+                         << eff);
+    spread_.emplace(1, eff / 2);
+    const double knock_k =
+        std::max(2.0, std::sqrt(static_cast<double>(eff)) /
+                          params_.knock_divisor);
+    knock_.emplace(1.0 / knock_k);
+    const auto n = static_cast<std::size_t>(ctx.num_active);
+    cycle_.assign(n, 0);
+    chan_.assign(n, 0);
+    renamed_.assign(n, 0);
+    pairs_.assign(n, 0);
+  }
+
+  void EmitActions(const BatchContext& ctx, std::span<const NodeId> alive,
+                   std::span<Action> actions) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const auto s = static_cast<std::size_t>(alive[k]);
+      switch (cycle_[s]) {
+        case 0:  // spread over [C'/2]
+          CRMC_CHECK_MSG(pairs_[s] < params_.max_pairs,
+                         "IDReduction exceeded max_pairs — probability of "
+                         "this is superpolynomially small; check parameters");
+          chan_[s] = static_cast<std::int32_t>(spread_->Draw(ctx.rng[s]));
+          actions[k] = Action::Transmit(static_cast<mac::ChannelId>(chan_[s]));
+          break;
+        case 1:  // confirm on the primary channel
+          actions[k] = renamed_[s] ? Action::Transmit(kPrimaryChannel)
+                                   : Action::Listen(kPrimaryChannel);
+          break;
+        default:  // knockout with probability 1/k
+          actions[k] = knock_->Draw(ctx.rng[s])
+                           ? Action::Transmit(kPrimaryChannel)
+                           : Action::Listen(kPrimaryChannel);
+          break;
+      }
+    }
+  }
+
+  void Advance(const BatchContext&, std::span<const NodeId> alive,
+               std::span<const Action> actions,
+               std::span<const Feedback> feedback,
+               std::span<std::uint8_t> finished) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const auto s = static_cast<std::size_t>(alive[k]);
+      const Feedback& fb = feedback[k];
+      switch (cycle_[s]) {
+        case 0:
+          CRMC_PROTO_CHECK(!fb.Silence());
+          renamed_[s] = fb.MessageHeard() ? 1 : 0;  // alone on the channel
+          cycle_[s] = 1;
+          break;
+        case 1:
+          if (renamed_[s]) {
+            finished[k] = 1;  // kActive with new_id = chan_[s]
+          } else if (!fb.Silence()) {
+            finished[k] = 1;  // someone renamed and we did not
+          } else {
+            cycle_[s] = 2;
+          }
+          break;
+        default:
+          if (actions[k].transmit) {
+            CRMC_PROTO_CHECK(!fb.Silence());
+            if (fb.MessageHeard()) {  // alone on primary: solved outright
+              finished[k] = 1;
+              break;
+            }
+          } else if (!fb.Silence()) {
+            finished[k] = 1;
+            break;
+          }
+          cycle_[s] = 0;
+          ++pairs_[s];
+          break;
+      }
+    }
+  }
+
+ private:
+  core::IdReductionParams params_;
+  std::optional<BatchUniformInt> spread_;
+  std::optional<BatchBernoulli> knock_;
+  std::vector<std::uint8_t> cycle_;  // 0 spread, 1 confirm, 2 knock
+  std::vector<std::int32_t> chan_;   // channel picked in the spread round
+  std::vector<std::uint8_t> renamed_;
+  std::vector<std::int64_t> pairs_;
+};
+
+// ---------------------------------------------------------------------------
+// LeafElection (core/leaf_election.cpp + core/split_primitives.cpp
+// flattened). The per-node micro program counter walks root check ->
+// SplitSearch refinements (CheckLevel pairs + announce) -> pairing, with
+// the zero-round refinement bookkeeping folded into Advance. Shared
+// between the standalone program and the composed general program.
+
+struct LeafMachine {
+  enum Pc : std::uint8_t { kRoot, kProbe, kVerdict, kIdleRounds, kAnnounce,
+                           kPair };
+
+  std::optional<ChannelTree> tree;
+  bool force_binary = false;
+
+  // Columns, indexed by node slot.
+  std::vector<std::int32_t> leaf, cid, csize, cnode_heap, cnode_level;
+  std::vector<std::int32_t> l_min, l_max, probe_dist, k_bound;
+  std::vector<std::uint8_t> pc, which, probe_collided, first_res, second_res,
+      idle_left;
+
+  void Init(std::int32_t num_leaves, bool force_binary_in, std::size_t n) {
+    tree.emplace(num_leaves);
+    force_binary = force_binary_in;
+    for (auto* col : {&leaf, &cid, &csize, &cnode_heap, &cnode_level, &l_min,
+                      &l_max, &probe_dist, &k_bound}) {
+      col->assign(n, 0);
+    }
+    for (auto* col : {&pc, &which, &probe_collided, &first_res, &second_res,
+                      &idle_left}) {
+      col->assign(n, 0);
+    }
+  }
+
+  // Place node slot `s` on `leaf_label` as a singleton cohort; its next
+  // round is the phase-1 root check.
+  void Enter(std::size_t s, std::int32_t leaf_label) {
+    leaf[s] = leaf_label;
+    cid[s] = 1;
+    csize[s] = 1;
+    cnode_heap[s] = tree->LeafHeapIndex(leaf_label);
+    cnode_level[s] = tree->height();
+    pc[s] = kRoot;
+  }
+
+  // Boundary level l_i of the current refinement (SplitSearch).
+  std::int32_t Boundary(std::size_t s, std::int32_t i) const {
+    return i >= k_bound[s] ? l_max[s] : l_min[s] + i * probe_dist[s];
+  }
+
+  // Zero-round transition after the root check or an announce: either set
+  // up the next (p+1)-ary refinement or conclude SplitSearch and move to
+  // pairing at split_level == l_max.
+  void EnterRefinementOrPair(std::size_t s) {
+    if (l_max[s] > l_min[s] + 1) {
+      const std::int32_t range = l_max[s] - l_min[s];
+      const std::int32_t arity = force_binary ? 2 : csize[s] + 1;
+      probe_dist[s] =
+          static_cast<std::int32_t>(support::CeilDiv(range, arity));
+      k_bound[s] =
+          static_cast<std::int32_t>(support::CeilDiv(range, probe_dist[s]));
+      CRMC_CHECK(k_bound[s] >= 2 && k_bound[s] <= arity);
+      if (cid[s] < k_bound[s]) {
+        pc[s] = kProbe;  // this member probes levels l_cid and l_(cid+1)
+        which[s] = 0;
+      } else {
+        pc[s] = kIdleRounds;  // idle through the 4 CheckLevel rounds
+        idle_left[s] = 4;
+      }
+    } else {
+      CRMC_PROTO_CHECK(l_max[s] >= 1 && l_max[s] <= cnode_level[s]);
+      pc[s] = kPair;
+    }
+  }
+
+  Action Emit(std::size_t s) const {
+    const ChannelTree& tr = *tree;
+    switch (pc[s]) {
+      case kRoot:
+        return cid[s] == 1 ? Action::Transmit(kPrimaryChannel)
+                           : Action::Listen(kPrimaryChannel);
+      case kProbe: {
+        const std::int32_t lvl =
+            Boundary(s, which[s] == 0 ? cid[s] : cid[s] + 1);
+        return Action::Transmit(
+            tr.ChannelOf(tr.AncestorAtLevel(leaf[s], lvl)));
+      }
+      case kVerdict: {
+        const std::int32_t lvl =
+            Boundary(s, which[s] == 0 ? cid[s] : cid[s] + 1);
+        return probe_collided[s] ? Action::Transmit(tr.RowChannel(lvl))
+                                 : Action::Listen(tr.RowChannel(lvl));
+      }
+      case kIdleRounds:
+        return Action::Idle();
+      case kAnnounce: {
+        const mac::ChannelId ch = tr.ChannelOf(cnode_heap[s]);
+        if (cid[s] < k_bound[s] && cid[s] == 1 && !first_res[s]) {
+          return Action::Transmit(ch, mac::Message{0});
+        }
+        if (cid[s] < k_bound[s] && first_res[s] && !second_res[s]) {
+          return Action::Transmit(
+              ch, mac::Message{static_cast<std::uint64_t>(cid[s])});
+        }
+        return Action::Listen(ch);
+      }
+      case kPair: {
+        const std::int32_t parent =
+            tr.AncestorAtLevel(leaf[s], l_max[s] - 1);
+        return cid[s] == 1 ? Action::Transmit(tr.ChannelOf(parent))
+                           : Action::Listen(tr.ChannelOf(parent));
+      }
+    }
+    CRMC_CHECK(false);  // unreachable
+    return Action::Idle();
+  }
+
+  // Returns true when node slot `s` leaves the election this round (as the
+  // leader or as a partner-less cohort going inactive).
+  bool Advance(std::size_t s, const Action& action, const Feedback& fb) {
+    switch (pc[s]) {
+      case kRoot:
+        CRMC_PROTO_CHECK(!fb.Silence());  // every cohort has a master
+        if (fb.MessageHeard()) return true;  // lone master broadcast: done
+        l_min[s] = 0;
+        l_max[s] = cnode_level[s];
+        EnterRefinementOrPair(s);
+        return false;
+      case kProbe:
+        CRMC_PROTO_CHECK(!fb.Silence());
+        probe_collided[s] = fb.Collision() ? 1 : 0;
+        pc[s] = kVerdict;
+        return false;
+      case kVerdict: {
+        // CheckLevel verdict: a collided probe already decided "shared";
+        // otherwise the row channel spreads the other probers' verdict.
+        const std::uint8_t result =
+            probe_collided[s] ? 1 : (fb.Silence() ? 0 : 1);
+        if (which[s] == 0) {
+          first_res[s] = result;
+          which[s] = 1;
+          pc[s] = kProbe;
+        } else {
+          second_res[s] = result;
+          pc[s] = kAnnounce;
+        }
+        return false;
+      }
+      case kIdleRounds:
+        if (--idle_left[s] == 0) pc[s] = kAnnounce;
+        return false;
+      case kAnnounce: {
+        std::int32_t subrange;
+        if (action.transmit) {
+          CRMC_PROTO_CHECK_MSG(fb.MessageHeard(),
+                               "two announcers in one cohort (subrange "
+                                   << action.message.payload << ")");
+          subrange = static_cast<std::int32_t>(action.message.payload);
+        } else {
+          CRMC_PROTO_CHECK_MSG(fb.MessageHeard(),
+                               "cohort announcement missing on channel "
+                                   << tree->ChannelOf(cnode_heap[s]));
+          subrange = static_cast<std::int32_t>(fb.message.payload);
+        }
+        CRMC_PROTO_CHECK(subrange >= 0 && subrange < k_bound[s]);
+        // Compute both bounds before assigning: Boundary reads l_min.
+        const std::int32_t new_min = Boundary(s, subrange);
+        const std::int32_t new_max = Boundary(s, subrange + 1);
+        l_min[s] = new_min;
+        l_max[s] = new_max;
+        EnterRefinementOrPair(s);
+        return false;
+      }
+      case kPair: {
+        CRMC_PROTO_CHECK(!fb.Silence());  // our own master transmitted
+        if (!fb.Collision()) return true;  // no partner cohort: inactive
+        const std::int32_t split = l_max[s];
+        if (!tree->AncestorIsLeftChild(leaf[s], split)) {
+          cid[s] += csize[s];  // right-subtree cohort shifts its IDs up
+        }
+        csize[s] *= 2;
+        cnode_heap[s] = tree->AncestorAtLevel(leaf[s], split - 1);
+        cnode_level[s] = split - 1;
+        pc[s] = kRoot;
+        return false;
+      }
+    }
+    CRMC_CHECK(false);  // unreachable
+    return true;
+  }
+};
+
+class LeafElectionProgram final : public StepProgram {
+ public:
+  LeafElectionProgram(std::vector<std::int32_t> leaves,
+                      std::int32_t num_leaves,
+                      core::LeafElectionParams params)
+      : leaves_(std::move(leaves)), num_leaves_(num_leaves), params_(params) {}
+
+  std::string_view name() const override { return "leaf_election"; }
+
+  void Reset(const BatchContext& ctx) override {
+    CRMC_REQUIRE(static_cast<std::size_t>(ctx.num_active) == leaves_.size());
+    CRMC_REQUIRE_MSG(2 * num_leaves_ - 1 <= ctx.channels,
+                     "tree with " << num_leaves_ << " leaves needs "
+                                  << 2 * num_leaves_ - 1
+                                  << " channels, have " << ctx.channels);
+    machine_.Init(num_leaves_, params_.force_binary_search, leaves_.size());
+    for (std::size_t s = 0; s < leaves_.size(); ++s) {
+      machine_.Enter(s, leaves_[s]);
+    }
+  }
+
+  void EmitActions(const BatchContext&, std::span<const NodeId> alive,
+                   std::span<Action> actions) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      actions[k] = machine_.Emit(static_cast<std::size_t>(alive[k]));
+    }
+  }
+
+  void Advance(const BatchContext&, std::span<const NodeId> alive,
+               std::span<const Action> actions,
+               std::span<const Feedback> feedback,
+               std::span<std::uint8_t> finished) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      if (machine_.Advance(static_cast<std::size_t>(alive[k]), actions[k],
+                           feedback[k])) {
+        finished[k] = 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::int32_t> leaves_;
+  std::int32_t num_leaves_;
+  core::LeafElectionParams params_;
+  LeafMachine machine_;
+};
+
+// ---------------------------------------------------------------------------
+// The classic single-channel CD knockout (core/reduce.cpp, RunKnockoutCd):
+// also the general algorithm's C = O(1) fallback.
+
+class KnockoutCdProgram final : public StepProgram {
+ public:
+  std::string_view name() const override { return "knockout_cd"; }
+
+  void Reset(const BatchContext&) override {}
+
+  void EmitActions(const BatchContext& ctx, std::span<const NodeId> alive,
+                   std::span<Action> actions) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const auto s = static_cast<std::size_t>(alive[k]);
+      actions[k] = coin_.Draw(ctx.rng[s]) ? Action::Transmit(kPrimaryChannel)
+                                          : Action::Listen(kPrimaryChannel);
+    }
+  }
+
+  void Advance(const BatchContext&, std::span<const NodeId> alive,
+               std::span<const Action> actions,
+               std::span<const Feedback> feedback,
+               std::span<std::uint8_t> finished) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const Feedback& fb = feedback[k];
+      if (actions[k].transmit) {
+        CRMC_PROTO_CHECK(!fb.Silence());
+        if (fb.MessageHeard()) finished[k] = 1;  // transmitted alone: leader
+      } else if (!fb.Silence()) {
+        finished[k] = 1;  // heard someone: knocked out
+      }
+    }
+    (void)alive;
+  }
+
+ private:
+  BatchBernoulli coin_{0.5};
+};
+
+// ---------------------------------------------------------------------------
+// The composed general algorithm (core/general.cpp): Reduce -> IDReduction
+// -> LeafElection, with the single-channel knockout fallback for C = O(1).
+// Stage transitions replicate the coroutine step composition: Reduce
+// survivors all enter IDReduction in the same round, and the nodes renamed
+// by IDReduction all enter LeafElection (on leaf = new ID) in the same
+// round.
+
+class GeneralProgram final : public StepProgram {
+ public:
+  explicit GeneralProgram(core::GeneralParams params) : params_(params) {}
+
+  std::string_view name() const override { return "general"; }
+
+  void Reset(const BatchContext& ctx) override {
+    eff_ = core::EffectiveChannels(ctx.channels, ctx.population);
+    fallback_ = eff_ < params_.min_channels;
+    const auto n = static_cast<std::size_t>(ctx.num_active);
+    stage_.assign(n, fallback_ ? kFallback : kReduce);
+    step_.assign(n, 0);
+    chan_.assign(n, 0);
+    renamed_.assign(n, 0);
+    pairs_.assign(n, 0);
+    if (fallback_) return;
+    CRMC_REQUIRE_MSG(eff_ >= 4,
+                     "IDReduction needs at least 4 effective channels, got "
+                         << eff_);
+    reduce_sched_ = BuildReduceSchedule(ctx.population, params_.reduce);
+    spread_.emplace(1, eff_ / 2);
+    const double knock_k =
+        std::max(2.0, std::sqrt(static_cast<double>(eff_)) /
+                          params_.id_reduction.knock_divisor);
+    knock_.emplace(1.0 / knock_k);
+    leaf_.Init(eff_ / 2, params_.leaf_election.force_binary_search, n);
+  }
+
+  void EmitActions(const BatchContext& ctx, std::span<const NodeId> alive,
+                   std::span<Action> actions) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const auto s = static_cast<std::size_t>(alive[k]);
+      support::RandomSource& rng = ctx.rng[s];
+      switch (stage_[s]) {
+        case kFallback:
+          actions[k] = coin_.Draw(rng) ? Action::Transmit(kPrimaryChannel)
+                                       : Action::Listen(kPrimaryChannel);
+          break;
+        case kReduce: {
+          const bool tx =
+              reduce_sched_[static_cast<std::size_t>(step_[s])].Draw(rng);
+          actions[k] = tx ? Action::Transmit(kPrimaryChannel)
+                          : Action::Listen(kPrimaryChannel);
+          break;
+        }
+        case kIdr:
+          switch (step_[s]) {
+            case 0:
+              CRMC_CHECK_MSG(pairs_[s] < params_.id_reduction.max_pairs,
+                             "IDReduction exceeded max_pairs — probability "
+                             "of this is superpolynomially small; check "
+                             "parameters");
+              chan_[s] = static_cast<std::int32_t>(spread_->Draw(rng));
+              actions[k] =
+                  Action::Transmit(static_cast<mac::ChannelId>(chan_[s]));
+              break;
+            case 1:
+              actions[k] = renamed_[s] ? Action::Transmit(kPrimaryChannel)
+                                       : Action::Listen(kPrimaryChannel);
+              break;
+            default:
+              actions[k] = knock_->Draw(rng)
+                               ? Action::Transmit(kPrimaryChannel)
+                               : Action::Listen(kPrimaryChannel);
+              break;
+          }
+          break;
+        case kLeaf:
+          actions[k] = leaf_.Emit(s);
+          break;
+      }
+    }
+  }
+
+  void Advance(const BatchContext&, std::span<const NodeId> alive,
+               std::span<const Action> actions,
+               std::span<const Feedback> feedback,
+               std::span<std::uint8_t> finished) override {
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const auto s = static_cast<std::size_t>(alive[k]);
+      const Feedback& fb = feedback[k];
+      switch (stage_[s]) {
+        case kFallback:
+          if (actions[k].transmit) {
+            CRMC_PROTO_CHECK(!fb.Silence());
+            if (fb.MessageHeard()) finished[k] = 1;
+          } else if (!fb.Silence()) {
+            finished[k] = 1;
+          }
+          break;
+        case kReduce:
+          if (actions[k].transmit) {
+            CRMC_PROTO_CHECK(!fb.Silence());
+            if (fb.MessageHeard()) {  // alone: leader, problem solved
+              finished[k] = 1;
+              break;
+            }
+          } else if (!fb.Silence()) {
+            finished[k] = 1;  // knocked out
+            break;
+          }
+          if (static_cast<std::size_t>(++step_[s]) == reduce_sched_.size()) {
+            stage_[s] = kIdr;  // survivor: IDReduction starts next round
+            step_[s] = 0;
+          }
+          break;
+        case kIdr:
+          switch (step_[s]) {
+            case 0:
+              CRMC_PROTO_CHECK(!fb.Silence());
+              renamed_[s] = fb.MessageHeard() ? 1 : 0;
+              step_[s] = 1;
+              break;
+            case 1:
+              if (renamed_[s]) {
+                stage_[s] = kLeaf;  // kActive: elect over leaf = new ID
+                leaf_.Enter(s, chan_[s]);
+              } else if (!fb.Silence()) {
+                finished[k] = 1;  // someone renamed and we did not
+              } else {
+                step_[s] = 2;
+              }
+              break;
+            default:
+              if (actions[k].transmit) {
+                CRMC_PROTO_CHECK(!fb.Silence());
+                if (fb.MessageHeard()) {  // alone on primary: solved
+                  finished[k] = 1;
+                  break;
+                }
+              } else if (!fb.Silence()) {
+                finished[k] = 1;
+                break;
+              }
+              step_[s] = 0;
+              ++pairs_[s];
+              break;
+          }
+          break;
+        case kLeaf:
+          if (leaf_.Advance(s, actions[k], fb)) finished[k] = 1;
+          break;
+      }
+    }
+  }
+
+ private:
+  enum Stage : std::uint8_t { kFallback, kReduce, kIdr, kLeaf };
+
+  core::GeneralParams params_;
+  std::int32_t eff_ = 0;
+  bool fallback_ = false;
+  std::vector<BatchBernoulli> reduce_sched_;
+  std::optional<BatchUniformInt> spread_;
+  std::optional<BatchBernoulli> knock_;
+  BatchBernoulli coin_{0.5};
+  LeafMachine leaf_;
+
+  std::vector<std::uint8_t> stage_;
+  std::vector<std::int32_t> step_;  // reduce schedule index / IDR cycle pos
+  std::vector<std::int32_t> chan_;  // IDR spread channel (leaf label later)
+  std::vector<std::uint8_t> renamed_;
+  std::vector<std::int64_t> pairs_;
+};
+
+}  // namespace
+
+std::unique_ptr<StepProgram> MakeTwoActiveProgram(
+    core::TwoActiveParams params) {
+  return std::make_unique<TwoActiveProgram>(params);
+}
+
+std::unique_ptr<StepProgram> MakeReduceProgram(core::ReduceParams params) {
+  return std::make_unique<ReduceProgram>(params);
+}
+
+std::unique_ptr<StepProgram> MakeIdReductionProgram(
+    core::IdReductionParams params) {
+  return std::make_unique<IdReductionProgram>(params);
+}
+
+std::unique_ptr<StepProgram> MakeLeafElectionProgram(
+    std::vector<std::int32_t> leaves, std::int32_t num_leaves,
+    core::LeafElectionParams params) {
+  return std::make_unique<LeafElectionProgram>(std::move(leaves), num_leaves,
+                                               params);
+}
+
+std::unique_ptr<StepProgram> MakeKnockoutCdProgram() {
+  return std::make_unique<KnockoutCdProgram>();
+}
+
+std::unique_ptr<StepProgram> MakeGeneralProgram(core::GeneralParams params) {
+  return std::make_unique<GeneralProgram>(params);
+}
+
+}  // namespace crmc::sim

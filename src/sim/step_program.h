@@ -1,0 +1,104 @@
+// Explicit per-round state machines ("step programs") for the batch engine.
+//
+// The coroutine engine (sim/engine.h) is the reference semantics: protocols
+// read like the paper's pseudocode, at the cost of a heap-allocated frame
+// and an indirect resume per node per round. A StepProgram is the same
+// protocol flattened into columnar state: per-node registers live in flat
+// arrays owned by the program, and each round is two linear sweeps over the
+// alive prefix (EmitActions, then Advance). BatchEngine (sim/batch_engine.h)
+// drives the sweeps; mac::Resolver keeps channel resolution O(alive) via its
+// touched_channels scratch.
+//
+// Every program shipped here is *draw-order identical* to its coroutine
+// twin: it makes exactly the RNG draws the coroutine makes, in the same
+// order, on the same per-node stream — so a BatchEngine run is bit-exact
+// against Engine::Run for the same EngineConfig, which is what the parity
+// suite (tests/batch_engine_test.cpp) enforces.
+//
+// Programs provided: TwoActive, Reduce, IDReduction, LeafElection, the
+// single-channel CD knockout, and the composed general algorithm
+// (Reduce -> IDReduction -> LeafElection with the C = O(1) fallback).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/params.h"
+#include "mac/channel.h"
+#include "support/rng.h"
+
+namespace crmc::sim {
+
+using NodeId = std::int32_t;
+
+// Read-only model parameters plus the engine-owned per-node columns a
+// program may use. Spans stay valid for the duration of one BatchEngine
+// run; `rng[slot]` is the same stream the coroutine engine hands node
+// `slot` (ForStream(seed, slot + 1)).
+struct BatchContext {
+  std::int64_t population = 0;
+  std::int32_t num_active = 0;
+  std::int32_t channels = 1;
+  std::int64_t round = 0;  // 0-based index of the round being executed
+  std::span<support::RandomSource> rng;
+  std::span<const std::int64_t> unique_ids;  // distinct IDs from [1, n]
+};
+
+// One protocol as an explicit state machine over columnar node state.
+//
+// Contract (mirrors one engine round):
+//   Reset(ctx)        — size the columns for ctx.num_active nodes and set
+//                       initial state; called once per run, reusing
+//                       capacity across runs.
+//   EmitActions(...)  — write actions[k] (the round action of node
+//                       alive[k]) for every k; RNG draws happen here, in
+//                       alive order, so per-node draw order matches the
+//                       coroutine (one resume per round).
+//   Advance(...)      — consume feedback[k] for node alive[k], transition
+//                       its state, and set finished[k] = 1 when the node's
+//                       protocol terminated this round.
+//
+// A program instance is reusable (Reset) but not thread-safe; use one
+// instance per thread.
+class StepProgram {
+ public:
+  virtual ~StepProgram() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // True when the program documents bit-exact draw order against its
+  // coroutine twin (all programs in this file do). Parity tests compare
+  // per-seed results when set; distributions otherwise.
+  virtual bool identical_draw_order() const { return true; }
+
+  virtual void Reset(const BatchContext& ctx) = 0;
+  virtual void EmitActions(const BatchContext& ctx,
+                           std::span<const NodeId> alive,
+                           std::span<mac::Action> actions) = 0;
+  virtual void Advance(const BatchContext& ctx,
+                       std::span<const NodeId> alive,
+                       std::span<const mac::Action> actions,
+                       std::span<const mac::Feedback> feedback,
+                       std::span<std::uint8_t> finished) = 0;
+};
+
+using StepProgramFactory = std::function<std::unique_ptr<StepProgram>()>;
+
+// Factories, one per registered protocol. Parameters mirror the coroutine
+// factories in core/.
+std::unique_ptr<StepProgram> MakeTwoActiveProgram(
+    core::TwoActiveParams params = {});
+std::unique_ptr<StepProgram> MakeReduceProgram(core::ReduceParams params = {});
+std::unique_ptr<StepProgram> MakeIdReductionProgram(
+    core::IdReductionParams params = {});
+std::unique_ptr<StepProgram> MakeLeafElectionProgram(
+    std::vector<std::int32_t> leaves, std::int32_t num_leaves,
+    core::LeafElectionParams params = {});
+std::unique_ptr<StepProgram> MakeKnockoutCdProgram();
+std::unique_ptr<StepProgram> MakeGeneralProgram(core::GeneralParams params = {});
+
+}  // namespace crmc::sim

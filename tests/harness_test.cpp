@@ -1,10 +1,12 @@
 // Tests for the experiment harness: stats, runner, tables, registry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <vector>
 
+#include "harness/json_writer.h"
 #include "harness/registry.h"
 #include "harness/runner.h"
 #include "harness/stats.h"
@@ -154,6 +156,65 @@ TEST(Table, RejectsMismatchedRow) {
   EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
 }
 
+TEST(Json, WriterProducesWellFormedDocument) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema").Value("crmc.bench_engine.v1");
+  w.Key("count").Value(std::int64_t{3});
+  w.Key("rate").Value(12.5);
+  w.Key("ok").Value(true);
+  w.Key("points").BeginArray();
+  w.BeginObject();
+  w.Key("name").Value("a");
+  w.EndObject();
+  w.Value(std::int64_t{7});
+  w.EndArray();
+  w.Key("empty").BeginArray().EndArray();
+  w.EndObject();
+  w.Finish();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"schema\": \"crmc.bench_engine.v1\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(out.find("\"rate\": 12.5"), std::string::npos);
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(out.find("\"empty\": []"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+  // Balanced braces/brackets (no string cells contain them here).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.Value("quote \" here");
+  w.Finish();
+  EXPECT_EQ(os.str(), "\"quote \\\" here\"\n");
+}
+
+TEST(Json, RejectsMisnesting) {
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.BeginObject();
+    EXPECT_THROW(w.Value(std::int64_t{1}), std::invalid_argument);  // no Key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.BeginArray();
+    EXPECT_THROW(w.Key("x"), std::invalid_argument);  // key in array
+    EXPECT_THROW(w.EndObject(), std::invalid_argument);
+    EXPECT_THROW(w.Finish(), std::invalid_argument);  // open scope
+  }
+}
+
 TEST(Runner, CollectsSolvedRounds) {
   TrialSpec spec;
   spec.num_active = 2;
@@ -177,6 +238,41 @@ TEST(Runner, SingleThreadMatchesMultiThread) {
   EXPECT_EQ(Summarize(a.solved_rounds).mean, Summarize(b.solved_rounds).mean);
 }
 
+// Satellite of ISSUE 1: the per-trial seed derivation makes the solved
+// rounds a pure function of the spec — the thread count must not reorder
+// or change them, on either engine path.
+TEST(Runner, ThreadCountPreservesSolvedRoundsExactly) {
+  TrialSpec spec;
+  spec.num_active = 48;
+  spec.population = 1 << 12;
+  spec.channels = 32;
+  const ProtocolHandle handle = HandleFor(AlgorithmByName("general"));
+  const TrialSetResult a = RunTrials(spec, handle, 64, false, 1);
+  const TrialSetResult b = RunTrials(spec, handle, 64, false, 8);
+  EXPECT_EQ(a.solved_rounds, b.solved_rounds);
+  EXPECT_EQ(a.unsolved, b.unsolved);
+
+  spec.use_batch_engine = false;  // and on the coroutine oracle
+  const TrialSetResult c = RunTrials(spec, handle, 64, false, 1);
+  const TrialSetResult d = RunTrials(spec, handle, 64, false, 8);
+  EXPECT_EQ(c.solved_rounds, d.solved_rounds);
+  // The fast path reproduced the oracle bit-exactly.
+  EXPECT_EQ(a.solved_rounds, c.solved_rounds);
+}
+
+TEST(Runner, BatchFastPathMatchesCoroutineOracle) {
+  TrialSpec spec;
+  spec.num_active = 2;
+  spec.population = 1 << 10;
+  spec.channels = 16;
+  const ProtocolHandle handle = HandleFor(AlgorithmByName("two_active"));
+  const TrialSetResult fast = RunTrials(spec, handle, 200);
+  spec.use_batch_engine = false;
+  const TrialSetResult oracle = RunTrials(spec, handle, 200);
+  EXPECT_EQ(fast.solved_rounds, oracle.solved_rounds);
+  EXPECT_EQ(fast.unsolved, oracle.unsolved);
+}
+
 TEST(Runner, KeepRunsRetainsResults) {
   TrialSpec spec;
   spec.num_active = 2;
@@ -195,6 +291,22 @@ TEST(Registry, AllAlgorithmsListedAndConstructible) {
     ASSERT_NE(info.make, nullptr);
     EXPECT_TRUE(static_cast<bool>(info.make()));  // factory is callable
   }
+}
+
+TEST(Registry, StepProgramTwinsRegistered) {
+  for (const char* name : {"two_active", "general", "knockout_cd"}) {
+    const AlgorithmInfo& info = AlgorithmByName(name);
+    ASSERT_NE(info.make_step, nullptr) << name;
+    const auto program = info.make_step()();
+    ASSERT_NE(program, nullptr) << name;
+    EXPECT_EQ(program->name(), info.name);
+    EXPECT_TRUE(program->identical_draw_order()) << name;
+    EXPECT_TRUE(static_cast<bool>(HandleFor(info).step_program)) << name;
+  }
+  // Baselines without a columnar twin yield a coroutine-only handle.
+  const AlgorithmInfo& decay = AlgorithmByName("decay_no_cd");
+  EXPECT_EQ(decay.make_step, nullptr);
+  EXPECT_FALSE(static_cast<bool>(HandleFor(decay).step_program));
 }
 
 TEST(Registry, LookupByName) {

@@ -115,5 +115,34 @@ TEST(Resolver, ManyTransmittersStillCollision) {
   for (const Feedback& f : fb) EXPECT_TRUE(f.Collision());
 }
 
+// The resolver clears only the channels the *previous* round touched. A
+// channel that collided in round 1 and has no transmitter in round 2 must
+// come back clean: no stale activity in feedback, touched_channels, or
+// ActivityOf. (BatchEngine leans on this: it hands the resolver a different
+// alive-prefix of actions every round and reuses it across whole trials.)
+TEST(Resolver, ScratchStateDoesNotLeakAcrossRounds) {
+  Resolver r(8);
+  std::vector<Feedback> fb;
+  // Round 1: collision on channel 5, lone message on channel 2.
+  r.Resolve(std::vector<Action>{Action::Transmit(5), Action::Transmit(5),
+                                Action::Transmit(2, Message{9})},
+            fb);
+  ASSERT_EQ(r.touched_channels().size(), 2u);
+  EXPECT_TRUE(fb[0].Collision());
+
+  // Round 2: nobody transmits on 5; a fresh listener there must observe
+  // silence, not round-1's collision, and channel 2 must be forgotten.
+  const RoundSummary s = r.Resolve(
+      std::vector<Action>{Action::Listen(5), Action::Transmit(7)}, fb);
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_TRUE(fb[1].MessageHeard());
+  EXPECT_EQ(s.total_transmissions, 1);
+  EXPECT_EQ(r.touched_channels(), (std::vector<ChannelId>{5, 7}));
+  EXPECT_EQ(r.ActivityOf(5).transmitters, 0);
+  EXPECT_EQ(r.ActivityOf(5).listeners, 1);
+  EXPECT_EQ(r.ActivityOf(2).transmitters, 0);
+  EXPECT_EQ(r.ActivityOf(2).listeners, 0);
+}
+
 }  // namespace
 }  // namespace crmc::mac

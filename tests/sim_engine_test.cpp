@@ -361,5 +361,48 @@ Task<void> StopAfterTransmitting(NodeContext& ctx) {
   co_await ctx.Listen(kPrimaryChannel);
 }
 
+// --- RunResult accessors ----------------------------------------------------
+
+// Node i idles i rounds, then marks "ready" (at round i) and records one
+// metric; node 0 additionally records a second, private metric.
+Task<void> MarkAndMeasure(NodeContext& ctx) {
+  for (std::int64_t i = 0; i < ctx.index(); ++i) co_await ctx.Sleep();
+  ctx.MarkPhase("ready");
+  ctx.RecordMetric("twice_index", ctx.index() * 2);
+  if (ctx.index() == 0) ctx.RecordMetric("only_zero", 7);
+  co_await ctx.Sleep();
+}
+
+// The accessors answer from a linear scan on small runs and from a lazily
+// built one-pass index on large ones; both paths must agree on the same
+// semantics (max across nodes for marks, node order for metrics).
+void CheckReportAccessors(std::int32_t num_active) {
+  EngineConfig c = Config(num_active, 1);
+  c.stop_when_solved = false;
+  const RunResult r = Engine::Run(c, [](NodeContext& ctx) {
+    return MarkAndMeasure(ctx);
+  });
+  ASSERT_EQ(r.node_reports.size(), static_cast<std::size_t>(num_active));
+
+  EXPECT_EQ(r.LastPhaseMark("ready"), num_active - 1);
+  EXPECT_EQ(r.LastPhaseMark("missing"), -1);
+
+  const std::vector<std::int64_t> twice = r.MetricValues("twice_index");
+  ASSERT_EQ(twice.size(), static_cast<std::size_t>(num_active));
+  for (std::int32_t i = 0; i < num_active; ++i) {
+    EXPECT_EQ(twice[static_cast<std::size_t>(i)], 2 * i);  // node order
+  }
+  EXPECT_EQ(r.MetricValues("only_zero"), (std::vector<std::int64_t>{7}));
+  EXPECT_TRUE(r.MetricValues("missing").empty());
+
+  // Repeated queries (served from the cached index when large) agree.
+  EXPECT_EQ(r.LastPhaseMark("ready"), num_active - 1);
+  EXPECT_EQ(r.MetricValues("twice_index"), twice);
+}
+
+TEST(RunResultAccessors, SmallRunUsesLinearScan) { CheckReportAccessors(4); }
+
+TEST(RunResultAccessors, LargeRunUsesIndex) { CheckReportAccessors(40); }
+
 }  // namespace
 }  // namespace crmc::sim

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "support/bits.h"
@@ -175,6 +176,59 @@ TEST(Sampling, RejectsBadArguments) {
   RandomSource rng(1);
   EXPECT_THROW(SampleWithoutReplacement(5, 6, rng), std::invalid_argument);
   EXPECT_THROW(SampleWithoutReplacement(5, -1, rng), std::invalid_argument);
+}
+
+TEST(Sampling, FullPopulationShortcutIsIdentityAndDrawsNothing) {
+  RandomSource rng(42);
+  RandomSource twin(42);
+  const std::vector<std::int64_t> ids =
+      SampleWithoutReplacement(128, 128, rng);
+  ASSERT_EQ(ids.size(), 128u);
+  for (std::int64_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(ids[static_cast<std::size_t>(i)], i + 1);
+  }
+  // The shortcut consumed no randomness: the stream is untouched.
+  EXPECT_EQ(rng.NextU64(), twin.NextU64());
+}
+
+// The batch samplers must consume the generator exactly like their scalar
+// twins and return identical results — the BatchEngine parity guarantee
+// bottoms out here.
+TEST(Rng, BatchUniformIntMatchesScalar) {
+  const std::pair<std::int64_t, std::int64_t> ranges[] = {
+      {1, 64}, {1, 7}, {0, 0}, {-5, 5}, {1, 1000000007}};
+  for (const auto& [lo, hi] : ranges) {
+    RandomSource scalar(123);
+    RandomSource batch(123);
+    const BatchUniformInt draw(lo, hi);
+    for (int i = 0; i < 20000; ++i) {
+      ASSERT_EQ(scalar.UniformInt(lo, hi), draw.Draw(batch))
+          << "range [" << lo << ", " << hi << "] draw " << i;
+    }
+  }
+}
+
+TEST(Rng, BatchBernoulliMatchesScalar) {
+  for (const double p : {0.5, 1e-3, 0.999, 1.0 / 3.0, 0.25}) {
+    RandomSource scalar(9);
+    RandomSource batch(9);
+    const BatchBernoulli draw(p);
+    for (int i = 0; i < 20000; ++i) {
+      ASSERT_EQ(scalar.Bernoulli(p), draw.Draw(batch))
+          << "p=" << p << " draw " << i;
+    }
+  }
+}
+
+TEST(Rng, BatchBernoulliDegenerateConsumesNoDraw) {
+  RandomSource used(5);
+  RandomSource twin(5);
+  const BatchBernoulli never(0.0);
+  const BatchBernoulli always(1.0);
+  EXPECT_FALSE(never.Draw(used));
+  EXPECT_TRUE(always.Draw(used));
+  // Matches RandomSource::Bernoulli, which early-outs without a draw.
+  EXPECT_EQ(used.NextU64(), twin.NextU64());
 }
 
 }  // namespace

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_engine.json artifact and gate throughput regressions.
+
+Usage:
+    check_bench_json.py BENCH_engine.json
+    check_bench_json.py NEW.json --baseline BENCH_engine.json \
+        [--max-regression 0.20] [--min-speedup 1.0]
+
+Without --baseline only the schema is validated. With --baseline, every grid
+point present in both files is compared on the batch engine's trials/sec and
+the check fails if any point regressed by more than --max-regression
+(default 20%). Trial counts may differ between the two files (quick vs full
+runs); points are keyed by (protocol, population, num_active, channels).
+
+Exit codes: 0 ok, 1 validation/regression failure, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "crmc.bench_engine.v1"
+ENGINE_METRICS = ("seconds", "trials_per_sec", "rounds_per_sec",
+                  "node_rounds_per_sec")
+POINT_KEYS = ("protocol", "population", "num_active", "channels")
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def validate(doc, path):
+    """Checks the crmc.bench_engine.v1 schema; returns the points list."""
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        fail(f"{path}: 'points' must be a non-empty array")
+    for i, p in enumerate(points):
+        where = f"{path}: points[{i}]"
+        if not isinstance(p, dict):
+            fail(f"{where}: must be an object")
+        if not isinstance(p.get("protocol"), str) or not p["protocol"]:
+            fail(f"{where}: 'protocol' must be a non-empty string")
+        for key in ("population", "num_active", "channels", "trials"):
+            v = p.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                fail(f"{where}: '{key}' must be a positive integer")
+        engines = p.get("engines")
+        if not isinstance(engines, dict):
+            fail(f"{where}: 'engines' must be an object")
+        for name in ("coroutine", "batch"):
+            eng = engines.get(name)
+            if not isinstance(eng, dict):
+                fail(f"{where}: engines.{name} missing")
+            for metric in ENGINE_METRICS:
+                v = eng.get(metric)
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    fail(f"{where}: engines.{name}.{metric} must be a number")
+                if v < 0:
+                    fail(f"{where}: engines.{name}.{metric} is negative")
+        sp = p.get("speedup_trials_per_sec")
+        if not isinstance(sp, (int, float)) or isinstance(sp, bool) or sp < 0:
+            fail(f"{where}: 'speedup_trials_per_sec' must be a number >= 0")
+    keys = [tuple(p[k] for k in POINT_KEYS) for p in points]
+    if len(set(keys)) != len(keys):
+        fail(f"{path}: duplicate grid points")
+    return points
+
+
+def point_key(p):
+    return tuple(p[k] for k in POINT_KEYS)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("artifact", help="BENCH_engine.json to validate")
+    ap.add_argument("--baseline",
+                    help="committed artifact to compare batch throughput "
+                         "against")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="max fractional drop in batch trials/sec vs the "
+                         "baseline (default 0.20)")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="require batch/coroutine speedup >= this on every "
+                         "point")
+    args = ap.parse_args()
+    if not 0.0 <= args.max_regression < 1.0:
+        print("--max-regression must be in [0, 1)", file=sys.stderr)
+        sys.exit(2)
+
+    points = validate(load(args.artifact), args.artifact)
+    print(f"{args.artifact}: schema ok, {len(points)} grid points")
+
+    if args.min_speedup is not None:
+        for p in points:
+            sp = p["speedup_trials_per_sec"]
+            if sp < args.min_speedup:
+                fail(f"{p['protocol']} n={p['population']} "
+                     f"C={p['channels']}: speedup {sp:.2f} < "
+                     f"--min-speedup {args.min_speedup:.2f}")
+        print(f"all points have speedup >= {args.min_speedup:.2f}")
+
+    if args.baseline:
+        base_points = validate(load(args.baseline), args.baseline)
+        base = {point_key(p): p for p in base_points}
+        compared = 0
+        for p in points:
+            b = base.get(point_key(p))
+            if b is None:
+                continue
+            compared += 1
+            new_rate = p["engines"]["batch"]["trials_per_sec"]
+            old_rate = b["engines"]["batch"]["trials_per_sec"]
+            if old_rate <= 0:
+                continue
+            floor = old_rate * (1.0 - args.max_regression)
+            label = (f"{p['protocol']} n={p['population']} "
+                     f"active={p['num_active']} C={p['channels']}")
+            if new_rate < floor:
+                fail(f"{label}: batch trials/sec regressed "
+                     f"{new_rate:.1f} < {floor:.1f} "
+                     f"(baseline {old_rate:.1f}, allowed drop "
+                     f"{args.max_regression:.0%})")
+            print(f"{label}: {new_rate:.1f} vs baseline {old_rate:.1f} ok")
+        if compared == 0:
+            fail("no grid points in common with the baseline")
+        print(f"no regression > {args.max_regression:.0%} across "
+              f"{compared} points")
+    print("check_bench_json: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,7 +46,9 @@ using namespace crmc;
       "run flags:    --algo NAME  --cd strong|receiver|none  --trace\n"
       "              --run-to-completion\n"
       "sweep flags:  --algo NAME --vary channels|active --values a,b,c\n"
-      "              --trials T --quantile Q\n";
+      "              --trials T --quantile Q\n"
+      "race/sweep:   --no-batch forces the coroutine engine (the batch\n"
+      "              fast path is bit-exact, so results are identical)\n";
   std::exit(2);
 }
 
@@ -137,6 +139,7 @@ int CmdRace(const harness::Flags& flags) {
   spec.num_active = static_cast<std::int32_t>(flags.GetIntOr("active", 100));
   spec.population = flags.GetIntOr("population", 1 << 20);
   spec.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
+  spec.use_batch_engine = !flags.GetBoolOr("no-batch", false);
   const auto trials = static_cast<std::int32_t>(flags.GetIntOr("trials", 200));
   RejectUnknownFlags(flags);
 
@@ -144,7 +147,7 @@ int CmdRace(const harness::Flags& flags) {
   for (const harness::AlgorithmInfo& info : harness::Algorithms()) {
     if (info.requires_two_active && spec.num_active != 2) continue;
     const harness::TrialSetResult r =
-        harness::RunTrials(spec, info.make(), trials);
+        harness::RunTrials(spec, harness::HandleFor(info), trials);
     table.Row().Cells(info.name, r.summary.mean, r.summary.p95,
                       r.summary.max,
                       static_cast<std::int64_t>(r.unsolved));
@@ -164,12 +167,14 @@ int CmdSweep(const harness::Flags& flags) {
   base.num_active = static_cast<std::int32_t>(flags.GetIntOr("active", 4096));
   base.population = flags.GetIntOr("population", 1 << 20);
   base.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
+  base.use_batch_engine = !flags.GetBoolOr("no-batch", false);
   RejectUnknownFlags(flags);
   if (vary != "channels" && vary != "active") {
     Usage("--vary must be 'channels' or 'active'");
   }
 
-  const auto factory = harness::AlgorithmByName(algo).make();
+  const harness::ProtocolHandle handle =
+      harness::HandleFor(harness::AlgorithmByName(algo));
   harness::Table table({vary, "mean", "q" + harness::FormatDouble(quantile, 2),
                         "max"});
   for (const std::int64_t v : values) {
@@ -180,7 +185,7 @@ int CmdSweep(const harness::Flags& flags) {
       spec.num_active = static_cast<std::int32_t>(v);
     }
     const harness::TrialSetResult r =
-        harness::RunTrials(spec, factory, trials);
+        harness::RunTrials(spec, handle, trials);
     table.Row().Cells(v, r.summary.mean,
                       harness::Quantile(r.solved_rounds, quantile),
                       r.summary.max);
