@@ -1,0 +1,235 @@
+// E22: degradation under adversarial faults.
+//
+// Sweeps the fault-injection layer (mac/faults.h) across representative
+// protocols and measures how contention resolution degrades: success rate,
+// failure breakdown (timed out / wedged / assumption aborted), and
+// round-count inflation relative to the same protocol's fault-free runs.
+//
+//   (default)        prints the degradation table.
+//   --json <path>    also writes the machine-readable artifact (schema
+//                    crmc.bench_faults.v1) consumed by
+//                    tools/check_bench_json.py. `--quick` shrinks trial
+//                    counts for CI; `--trials-scale <f>` scales them.
+//
+// Unlike bench_engine_throughput this measures simulated outcomes, not wall
+// time, so the artifact is deterministic for a given mode: the jam-axis
+// monotonicity check in the validator is exact, not a timing gate.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/flags.h"
+#include "harness/json_writer.h"
+#include "harness/registry.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "support/assert.h"
+
+namespace {
+
+using namespace crmc;
+
+struct BenchProtocol {
+  const char* name;
+  std::int64_t population;
+  std::int32_t num_active;
+  std::int32_t channels;
+  std::int32_t trials;      // full-mode trial count; scaled by --quick
+  std::int64_t max_rounds;  // tight enough that heavy jamming times out
+};
+
+// TwoActive and General are the paper's algorithms; the no-CD baselines
+// anchor the comparison the robustness literature makes (faulty CD vs no
+// CD at all). max_rounds is a handful of fault-free solve times so the
+// curves show timeouts instead of waiting out 4M-round caps.
+const BenchProtocol kProtocols[] = {
+    {"two_active", 1 << 16, 2, 32, 600, 64},
+    {"general", 1 << 14, 128, 64, 300, 2000},
+    {"decay_no_cd", 1 << 14, 64, 1, 150, 4000},
+    {"daum_multichannel_no_cd", 1 << 14, 64, 64, 150, 4000},
+};
+
+const double kJamRates[] = {0.0, 0.1, 0.2, 0.4, 0.6};
+
+// Extra axes, swept on General only (the full-stack algorithm): erasures
+// break the strong-CD assumption outright, flaky CD corrupts it, crashes
+// thin the active set.
+const double kErasureRates[] = {0.05, 0.2};
+const double kFlakyRates[] = {0.02, 0.1};
+const double kCrashRates[] = {0.01, 0.05};
+
+constexpr std::uint64_t kSeedBase = 0xfa1175eedULL;
+
+struct PointResult {
+  BenchProtocol protocol;
+  mac::FaultSpec faults;
+  std::int32_t trials = 0;
+  harness::TrialSetResult result;
+  double round_inflation = 0.0;  // vs the protocol's fault-free mean
+};
+
+PointResult RunPoint(const BenchProtocol& p, const mac::FaultSpec& faults,
+                     double scale) {
+  PointResult out;
+  out.protocol = p;
+  out.faults = faults;
+  out.trials = std::max(
+      std::int32_t{20},
+      static_cast<std::int32_t>(static_cast<double>(p.trials) * scale));
+  harness::TrialSpec spec;
+  spec.population = p.population;
+  spec.num_active = p.num_active;
+  spec.channels = p.channels;
+  spec.max_rounds = p.max_rounds;
+  spec.base_seed = kSeedBase;
+  spec.faults = faults;
+  const harness::AlgorithmInfo& info = harness::AlgorithmByName(p.name);
+  out.result = harness::RunTrials(spec, harness::HandleFor(info), out.trials);
+  return out;
+}
+
+double SuccessRate(const PointResult& pt) {
+  return static_cast<double>(pt.result.solved_rounds.size()) /
+         static_cast<double>(pt.trials);
+}
+
+void WritePoint(harness::JsonWriter& w, const PointResult& pt) {
+  const harness::TrialSetResult& r = pt.result;
+  w.BeginObject();
+  w.Key("protocol").Value(pt.protocol.name);
+  w.Key("population").Value(pt.protocol.population);
+  w.Key("num_active").Value(static_cast<std::int64_t>(pt.protocol.num_active));
+  w.Key("channels").Value(static_cast<std::int64_t>(pt.protocol.channels));
+  w.Key("max_rounds").Value(pt.protocol.max_rounds);
+  w.Key("trials").Value(static_cast<std::int64_t>(pt.trials));
+  w.Key("faults").BeginObject();
+  w.Key("jam_rate").Value(pt.faults.jam_rate);
+  w.Key("erasure_rate").Value(pt.faults.erasure_rate);
+  w.Key("flaky_cd_rate").Value(pt.faults.flaky_cd_rate);
+  w.Key("crash_rate").Value(pt.faults.crash_rate);
+  w.EndObject();
+  w.Key("solved").Value(static_cast<std::int64_t>(r.solved_rounds.size()));
+  w.Key("unsolved").Value(static_cast<std::int64_t>(r.unsolved));
+  w.Key("timed_out").Value(static_cast<std::int64_t>(r.timed_out));
+  w.Key("aborted").Value(static_cast<std::int64_t>(r.aborted));
+  w.Key("wedged").Value(static_cast<std::int64_t>(r.wedged));
+  w.Key("success_rate").Value(SuccessRate(pt));
+  w.Key("mean_solved_rounds")
+      .Value(r.solved_rounds.empty() ? 0.0 : r.summary.mean);
+  w.Key("round_inflation").Value(pt.round_inflation);
+  w.Key("faults_injected").Value(r.faults_injected);
+  w.Key("crashed_nodes").Value(r.crashed_nodes);
+  w.EndObject();
+}
+
+std::string FaultLabel(const mac::FaultSpec& f) {
+  std::string label;
+  const auto add = [&label](const char* tag, double v) {
+    if (v <= 0.0) return;
+    if (!label.empty()) label += " ";
+    label += tag;
+    label += harness::FormatDouble(v, 2);
+  };
+  add("jam=", f.jam_rate);
+  add("erase=", f.erasure_rate);
+  add("flaky=", f.flaky_cd_rate);
+  add("crash=", f.crash_rate);
+  return label.empty() ? "none" : label;
+}
+
+int RunBench(const harness::Flags& flags) {
+  const bool json_mode = flags.GetString("json").has_value();
+  const std::string path = json_mode ? *flags.GetString("json") : "";
+  const bool quick = flags.GetBoolOr("quick", false);
+  const double scale = flags.GetDoubleOr("trials-scale", quick ? 0.25 : 1.0);
+  CRMC_REQUIRE_MSG(scale > 0.0, "--trials-scale must be positive");
+  const auto unconsumed = flags.UnconsumedFlags();
+  if (!unconsumed.empty()) {
+    std::cerr << "unknown flag: --" << unconsumed.front() << "\n";
+    return 2;
+  }
+
+  std::vector<PointResult> points;
+  for (const BenchProtocol& p : kProtocols) {
+    // Jam sweep; the jam=0 point doubles as the inflation baseline.
+    double baseline_mean = 0.0;
+    for (const double jam : kJamRates) {
+      mac::FaultSpec faults;
+      faults.jam_rate = jam;
+      PointResult pt = RunPoint(p, faults, scale);
+      const bool solved_any = !pt.result.solved_rounds.empty();
+      if (jam == 0.0 && solved_any) baseline_mean = pt.result.summary.mean;
+      if (baseline_mean > 0.0 && solved_any) {
+        pt.round_inflation = pt.result.summary.mean / baseline_mean;
+      }
+      points.push_back(std::move(pt));
+    }
+    if (std::string(p.name) != "general") continue;
+    for (const double rate : kErasureRates) {
+      mac::FaultSpec faults;
+      faults.erasure_rate = rate;
+      points.push_back(RunPoint(p, faults, scale));
+    }
+    for (const double rate : kFlakyRates) {
+      mac::FaultSpec faults;
+      faults.flaky_cd_rate = rate;
+      points.push_back(RunPoint(p, faults, scale));
+    }
+    for (const double rate : kCrashRates) {
+      mac::FaultSpec faults;
+      faults.crash_rate = rate;
+      points.push_back(RunPoint(p, faults, scale));
+    }
+  }
+
+  harness::Table table({"protocol", "faults", "trials", "success", "timeout",
+                        "abort", "wedged", "mean rounds", "inflation"});
+  for (const PointResult& pt : points) {
+    const harness::TrialSetResult& r = pt.result;
+    table.Row().Cells(
+        pt.protocol.name, FaultLabel(pt.faults),
+        static_cast<std::int64_t>(pt.trials),
+        harness::FormatDouble(SuccessRate(pt), 3),
+        static_cast<std::int64_t>(r.timed_out),
+        static_cast<std::int64_t>(r.aborted),
+        static_cast<std::int64_t>(r.wedged),
+        harness::FormatDouble(
+            r.solved_rounds.empty() ? 0.0 : r.summary.mean, 1),
+        harness::FormatDouble(pt.round_inflation, 2));
+  }
+  table.Print(std::cout);
+
+  if (json_mode) {
+    CRMC_REQUIRE_MSG(!path.empty(), "--json requires a file path");
+    std::ofstream out(path);
+    CRMC_REQUIRE_MSG(out.good(), "cannot open --json path " << path);
+    harness::JsonWriter w(out);
+    w.BeginObject();
+    w.Key("schema").Value("crmc.bench_faults.v1");
+    w.Key("mode").Value(quick ? "quick" : "full");
+    w.Key("points").BeginArray();
+    for (const PointResult& pt : points) WritePoint(w, pt);
+    w.EndArray();
+    w.EndObject();
+    w.Finish();
+    CRMC_REQUIRE_MSG(out.good(), "write failed for " << path);
+    out.close();
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const harness::Flags flags = harness::Flags::Parse(argc, argv);
+    return RunBench(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

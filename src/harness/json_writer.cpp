@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 #include "support/assert.h"
@@ -136,8 +137,13 @@ JsonWriter& JsonWriter::Value(std::int64_t v) {
 JsonWriter& JsonWriter::Value(double v) {
   CRMC_REQUIRE_MSG(std::isfinite(v), "JsonWriter: non-finite double");
   BeforeValue();
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  // Shortest representation that round-trips: consumers check exact
+  // invariants (e.g. success_rate == solved / trials) against these values.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
   os_ << buf;
   return *this;
 }

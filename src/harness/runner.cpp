@@ -41,6 +41,7 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
       config.max_rounds = spec.max_rounds;
       config.stop_when_solved = spec.stop_when_solved;
       config.record_active_counts = spec.record_active_counts;
+      config.faults = spec.faults;
       runs[static_cast<std::size_t>(t)] =
           batch ? batch_engine.Run(config, *program)
                 : sim::Engine::Run(config, protocol.coroutine);
@@ -58,10 +59,17 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
   TrialSetResult result;
   result.solved_rounds.reserve(static_cast<std::size_t>(trials));
   for (const sim::RunResult& run : runs) {
+    result.faults_injected += run.faults_injected;
+    result.crashed_nodes += run.crashed_nodes;
     if (run.solved) {
       result.solved_rounds.push_back(run.solved_round + 1);
     } else {
+      // Failed trials are counted, never folded into the round statistics:
+      // a timed-out trial's rounds_executed is just the max_rounds cap.
       ++result.unsolved;
+      if (run.timed_out) ++result.timed_out;
+      if (run.assumption_violated) ++result.aborted;
+      if (run.wedged) ++result.wedged;
     }
   }
   result.summary = Summarize(result.solved_rounds);
@@ -72,8 +80,10 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
 double MeanSolvedRounds(const TrialSpec& spec, const ProtocolHandle& protocol,
                         std::int32_t trials) {
   const TrialSetResult r = RunTrials(spec, protocol, trials);
-  CRMC_CHECK_MSG(r.unsolved == 0, r.unsolved << " of " << trials
-                                             << " trials failed to solve");
+  CRMC_CHECK_MSG(r.unsolved == 0,
+                 r.unsolved << " of " << trials << " trials failed to solve ("
+                            << r.timed_out << " timed out, " << r.aborted
+                            << " aborted)");
   return r.summary.mean;
 }
 

@@ -28,6 +28,8 @@ struct TrialSpec {
   // Opt-out for the BatchEngine fast path: when false, trials always run
   // on the coroutine engine even if the protocol ships a step program.
   bool use_batch_engine = true;
+  // Adversarial fault injection, forwarded to every trial's EngineConfig.
+  mac::FaultSpec faults;
 };
 
 // A protocol as the harness runs it: the coroutine factory (always present
@@ -49,9 +51,18 @@ struct ProtocolHandle {
 
 struct TrialSetResult {
   std::vector<std::int64_t> solved_rounds;  // per solved trial (1-based count)
-  std::int32_t unsolved = 0;                // trials that hit max_rounds
-  Summary summary;                          // over solved_rounds
-  std::vector<sim::RunResult> runs;         // iff keep_runs was requested
+  // Trials that did not solve, by cause. `unsolved` is the total; the
+  // breakdown below keeps failed trials out of the solved-round statistics
+  // instead of letting a max_rounds-capped round count poison the mean.
+  std::int32_t unsolved = 0;
+  std::int32_t timed_out = 0;  // hit max_rounds
+  std::int32_t aborted = 0;    // assumption_violated (fault-induced)
+  std::int32_t wedged = 0;     // timed out with a stalled trailing half
+  // Fault-layer aggregates summed over every trial (solved or not).
+  std::int64_t faults_injected = 0;
+  std::int64_t crashed_nodes = 0;
+  Summary summary;             // over solved_rounds only
+  std::vector<sim::RunResult> runs;  // iff keep_runs was requested
 };
 
 // Runs `trials` executions with seeds base_seed + t. `keep_runs` retains

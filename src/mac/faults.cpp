@@ -1,0 +1,54 @@
+#include "mac/faults.h"
+
+#include "support/assert.h"
+
+namespace crmc::mac {
+namespace {
+
+bool IsProbability(double p) {
+  // NaN fails both comparisons, so this also rejects non-finite garbage.
+  return p >= 0.0 && p <= 1.0;
+}
+
+// Derive the fault master seed from (run seed, fault_seed). The multiplier
+// keeps fault streams disjoint from the per-node protocol streams
+// (RandomSource::ForStream over small stream indices) and from the engine's
+// ID stream for every realistic configuration.
+std::uint64_t FaultMasterSeed(const FaultSpec& spec, std::uint64_t run_seed) {
+  return support::SplitMix64(run_seed ^
+                             (0xFA171C0DE5EED5ULL * (spec.fault_seed + 1)))
+      .Next();
+}
+
+}  // namespace
+
+void FaultSpec::Validate() const {
+  CRMC_REQUIRE_MSG(IsProbability(jam_rate),
+                   "jam_rate must be in [0, 1], got " << jam_rate);
+  CRMC_REQUIRE_MSG(IsProbability(erasure_rate),
+                   "erasure_rate must be in [0, 1], got " << erasure_rate);
+  CRMC_REQUIRE_MSG(IsProbability(flaky_cd_rate),
+                   "flaky_cd_rate must be in [0, 1], got " << flaky_cd_rate);
+  CRMC_REQUIRE_MSG(IsProbability(crash_rate),
+                   "crash_rate must be in [0, 1], got " << crash_rate);
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec, std::uint64_t run_seed)
+    : jam_(spec.jam_rate),
+      erasure_(spec.erasure_rate),
+      flip_(spec.flaky_cd_rate),
+      crash_(spec.crash_rate),
+      channel_rng_(support::RandomSource::ForStream(FaultMasterSeed(spec,
+                                                                    run_seed),
+                                                    0xC4A77ELL)),
+      observer_rng_(support::RandomSource::ForStream(
+          FaultMasterSeed(spec, run_seed), 0x0B5E12ULL)),
+      crash_rng_(support::RandomSource::ForStream(FaultMasterSeed(spec,
+                                                                  run_seed),
+                                                  0xC1A54ULL)),
+      active_(spec.Any()),
+      has_crashes_(spec.crash_rate > 0.0) {
+  spec.Validate();
+}
+
+}  // namespace crmc::mac

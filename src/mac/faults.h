@@ -1,0 +1,122 @@
+// Adversarial fault injection for the MAC substrate.
+//
+// The paper's algorithms assume the pristine strong-CD channel of Section 3.
+// The robustness literature the repo cites (Jiang & Zheng; Bender et al.)
+// asks what happens when that assumption is chipped away: slots are jammed,
+// messages are lost, collision detectors misfire, nodes die. This header
+// defines the fault taxonomy and the injector that realises it:
+//
+//   - jamming:   a channel is jammed for one round; every participant
+//                observes kCollision and nothing is delivered (a lone
+//                transmission on a jammed primary channel does NOT solve
+//                contention resolution).
+//   - erasure:   a lone transmitter's message is dropped; every participant
+//                (the transmitter included) observes kSilence. Under strong
+//                CD this is feedback the paper's model declares impossible,
+//                so strong-CD protocols surface it as a
+//                ProtocolAssumptionViolation (the engines turn that into a
+//                graceful per-run abort when faults are active).
+//   - flaky CD:  each participant's collision detector independently
+//                misfires: kSilence <-> kCollision, kMessage -> kCollision
+//                (payload lost). Applied before the CdModel capability
+//                filter — a no-CD transmitter has no detector to be flaky.
+//   - crash:     crash-stop node failures, sampled per node per round at
+//                the start of the round; a crashed node never acts again.
+//
+// All decisions are drawn from dedicated fault RNG streams derived from
+// (run seed, FaultSpec::fault_seed), fully independent of the per-node
+// protocol streams — so a faulty run is still a pure function of its
+// EngineConfig, and a run with all rates at zero is bit-identical to one
+// with no fault layer at all (zero-probability draws consume no generator
+// state; see support::BatchBernoulli).
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.h"
+
+namespace crmc::mac {
+
+// Per-round fault probabilities. All zero (the default) means the pristine
+// Section 3 channel.
+struct FaultSpec {
+  double jam_rate = 0.0;       // per touched channel per round
+  double erasure_rate = 0.0;   // per lone-transmitter channel per round
+  double flaky_cd_rate = 0.0;  // per participant per round
+  double crash_rate = 0.0;     // per alive node per round
+  // Dedicated fault stream selector: two runs with the same engine seed but
+  // different fault_seed face different adversaries over the same protocol
+  // randomness.
+  std::uint64_t fault_seed = 0;
+
+  bool Any() const {
+    return jam_rate > 0.0 || erasure_rate > 0.0 || flaky_cd_rate > 0.0 ||
+           crash_rate > 0.0;
+  }
+
+  // Throws std::invalid_argument (distinct message per field) unless every
+  // rate is a finite probability in [0, 1].
+  void Validate() const;
+};
+
+// Tallies of faults actually injected during one run.
+struct FaultCounters {
+  std::int64_t jams = 0;
+  std::int64_t erasures = 0;
+  std::int64_t cd_flips = 0;
+  std::int64_t crashes = 0;
+
+  std::int64_t Total() const { return jams + erasures + cd_flips + crashes; }
+};
+
+// Draws fault decisions for one run. Construct one per run (cheap); the
+// engines own it and hand it to mac::Resolver::Resolve each round. Draw
+// order is part of the execution contract: engines draw crashes once per
+// alive node in ascending node order at the start of each round, and the
+// resolver draws jam/erasure per touched channel in first-touched order,
+// then CD flips per participant in action order — so the coroutine and
+// batch engines stay bit-exact under faults.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultSpec& spec, std::uint64_t run_seed);
+
+  bool active() const { return active_; }
+  bool has_crashes() const { return has_crashes_; }
+
+  bool DrawCrash() {
+    const bool crash = crash_.Draw(crash_rng_);
+    if (crash) ++counters_.crashes;
+    return crash;
+  }
+  bool DrawJam() {
+    const bool jam = jam_.Draw(channel_rng_);
+    if (jam) ++counters_.jams;
+    return jam;
+  }
+  bool DrawErasure() {
+    const bool erase = erasure_.Draw(channel_rng_);
+    if (erase) ++counters_.erasures;
+    return erase;
+  }
+  bool DrawCdFlip() {
+    const bool flip = flip_.Draw(observer_rng_);
+    if (flip) ++counters_.cd_flips;
+    return flip;
+  }
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  support::BatchBernoulli jam_;
+  support::BatchBernoulli erasure_;
+  support::BatchBernoulli flip_;
+  support::BatchBernoulli crash_;
+  support::RandomSource channel_rng_;   // jam + erasure draws
+  support::RandomSource observer_rng_;  // CD-flip draws
+  support::RandomSource crash_rng_;     // crash draws
+  FaultCounters counters_;
+  bool active_ = false;
+  bool has_crashes_ = false;
+};
+
+}  // namespace crmc::mac

@@ -10,17 +10,23 @@ Resolver::Resolver(std::int32_t num_channels, CdModel cd_model)
                    "a network needs at least one channel, got "
                        << num_channels);
   activity_.resize(static_cast<std::size_t>(num_channels) + 1);
+  channel_fault_.resize(static_cast<std::size_t>(num_channels) + 1,
+                        ChannelFault::kClean);
   touched_channels_.reserve(64);
 }
 
 RoundSummary Resolver::Resolve(std::span<const Action> actions,
-                               std::vector<Feedback>& feedback) {
+                               std::vector<Feedback>& feedback,
+                               FaultInjector* faults) {
   // Clear only the channels dirtied last round: rounds usually touch a
   // handful of channels even in huge networks.
   for (const ChannelId ch : touched_channels_) {
     activity_[static_cast<std::size_t>(ch)] = ChannelActivity{};
+    channel_fault_[static_cast<std::size_t>(ch)] = ChannelFault::kClean;
   }
   touched_channels_.clear();
+
+  const bool inject = faults != nullptr && faults->active();
 
   RoundSummary summary;
   for (const Action& a : actions) {
@@ -43,6 +49,30 @@ RoundSummary Resolver::Resolve(std::span<const Action> actions,
   summary.primary_transmitters =
       activity_[static_cast<std::size_t>(kPrimaryChannel)].transmitters;
 
+  // Channel-level faults: one jam draw per touched channel, then — for
+  // surviving lone-transmitter channels — one erasure draw. First-touched
+  // order keeps the draw sequence a function of the action sequence alone.
+  if (inject) {
+    for (const ChannelId ch : touched_channels_) {
+      const ChannelActivity& act = activity_[static_cast<std::size_t>(ch)];
+      if (faults->DrawJam()) {
+        channel_fault_[static_cast<std::size_t>(ch)] = ChannelFault::kJammed;
+      } else if (act.transmitters == 1 && faults->DrawErasure()) {
+        channel_fault_[static_cast<std::size_t>(ch)] = ChannelFault::kErased;
+      }
+    }
+  }
+  for (const ChannelId ch : touched_channels_) {
+    if (activity_[static_cast<std::size_t>(ch)].transmitters == 1 &&
+        channel_fault_[static_cast<std::size_t>(ch)] == ChannelFault::kClean) {
+      ++summary.lone_deliveries;
+    }
+  }
+  summary.primary_lone_delivered =
+      summary.primary_transmitters == 1 &&
+      channel_fault_[static_cast<std::size_t>(kPrimaryChannel)] ==
+          ChannelFault::kClean;
+
   feedback.resize(actions.size());
   for (std::size_t i = 0; i < actions.size(); ++i) {
     const Action& a = actions[i];
@@ -52,7 +82,15 @@ RoundSummary Resolver::Resolve(std::span<const Action> actions,
       continue;
     }
     const ChannelActivity& act = activity_[static_cast<std::size_t>(a.channel)];
-    if (act.transmitters == 0) {
+    const ChannelFault fault =
+        channel_fault_[static_cast<std::size_t>(a.channel)];
+    if (fault == ChannelFault::kJammed) {
+      fb.observation = Observation::kCollision;  // jamming drowns everything
+      fb.message = Message{};
+    } else if (fault == ChannelFault::kErased) {
+      fb.observation = Observation::kSilence;  // lone message lost in transit
+      fb.message = Message{};
+    } else if (act.transmitters == 0) {
       fb.observation = Observation::kSilence;
       fb.message = Message{};
     } else if (act.transmitters == 1) {
@@ -61,6 +99,23 @@ RoundSummary Resolver::Resolve(std::span<const Action> actions,
     } else {
       fb.observation = Observation::kCollision;
       fb.message = Message{};
+    }
+    // Flaky CD: each participant's detector may independently misreport the
+    // channel. Drawn per non-idle action in order, before the capability
+    // filter below (a node without CD has no detector left to misfire).
+    if (inject && faults->DrawCdFlip()) {
+      switch (fb.observation) {
+        case Observation::kSilence:
+          fb.observation = Observation::kCollision;
+          break;
+        case Observation::kCollision:
+          fb.observation = Observation::kSilence;
+          break;
+        case Observation::kMessage:
+          fb.observation = Observation::kCollision;  // payload corrupted
+          fb.message = Message{};
+          break;
+      }
     }
     // Degrade feedback per the collision-detection model.
     switch (cd_model_) {

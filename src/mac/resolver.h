@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mac/channel.h"
+#include "mac/faults.h"
 
 namespace crmc::mac {
 
@@ -24,6 +25,14 @@ struct RoundSummary {
   std::int64_t total_transmissions = 0;
   std::int64_t total_participants = 0;   // non-idle actions
   std::int32_t primary_transmitters = 0;  // transmitters on channel 1
+  // Channels whose lone transmission was actually delivered this round
+  // (exactly one transmitter, channel neither jammed nor erased). With no
+  // fault layer this is simply the count of lone-transmitter channels.
+  std::int32_t lone_deliveries = 0;
+  // True iff channel 1 had exactly one transmitter AND the message got
+  // through. This — not primary_transmitters == 1 — is the solved
+  // condition: a jammed or erased lone transmission resolves nothing.
+  bool primary_lone_delivered = false;
 };
 
 // Resolves one synchronous round. `actions[i]` is node i's decision;
@@ -39,9 +48,15 @@ class Resolver {
   std::int32_t num_channels() const { return num_channels_; }
   CdModel cd_model() const { return cd_model_; }
 
-  // Resolve `actions` into `feedback` (resized to actions.size()).
+  // Resolve `actions` into `feedback` (resized to actions.size()). When
+  // `faults` is non-null and active, channel-level faults (jamming, lone-
+  // message erasure) and per-participant CD flips are injected before the
+  // CdModel capability filter; fault draws happen in first-touched channel
+  // order then action order, so identical action sequences yield identical
+  // faults regardless of executor.
   RoundSummary Resolve(std::span<const Action> actions,
-                       std::vector<Feedback>& feedback);
+                       std::vector<Feedback>& feedback,
+                       FaultInjector* faults = nullptr);
 
   // Activity of a single channel in the most recent Resolve call. Intended
   // for tests and tracing.
@@ -54,9 +69,12 @@ class Resolver {
   }
 
  private:
+  enum class ChannelFault : std::uint8_t { kClean = 0, kJammed, kErased };
+
   std::int32_t num_channels_;
   CdModel cd_model_;
   std::vector<ChannelActivity> activity_;    // index 0 unused, 1..C
+  std::vector<ChannelFault> channel_fault_;  // parallel to activity_
   std::vector<ChannelId> touched_channels_;  // channels dirtied this round
 };
 

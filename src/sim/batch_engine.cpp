@@ -7,15 +7,7 @@
 namespace crmc::sim {
 
 RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
-  CRMC_REQUIRE_MSG(config.num_active >= 1,
-                   "need at least one activated node");
-  CRMC_REQUIRE(config.channels >= 1);
-  CRMC_REQUIRE(config.max_rounds >= 1);
-  const std::int64_t population =
-      config.population == 0 ? config.num_active : config.population;
-  CRMC_REQUIRE_MSG(population >= config.num_active,
-                   "population " << population << " < activated nodes "
-                                 << config.num_active);
+  const std::int64_t population = ValidateEngineConfig(config);
 
   const auto n = static_cast<std::size_t>(config.num_active);
 
@@ -50,8 +42,23 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
   }
 
   RunResult result;
+  mac::FaultInjector injector(config.faults, config.seed);
+  mac::FaultInjector* const fault_ptr =
+      injector.active() ? &injector : nullptr;
   std::int64_t round = 0;
+  std::int64_t stall_streak = 0;
+  bool aborted = false;
   while (!alive_.empty() && round < config.max_rounds) {
+    // Crash-stop sweep, bit-exact with Engine::Run: one draw per alive node
+    // in ascending node order at the start of the round.
+    if (injector.has_crashes()) {
+      std::size_t write = 0;
+      for (std::size_t read = 0; read < alive_.size(); ++read) {
+        if (!injector.DrawCrash()) alive_[write++] = alive_[read];
+      }
+      alive_.resize(write);
+      if (alive_.empty()) break;
+    }
     const std::size_t m = alive_.size();
     if (config.record_active_counts) {
       result.active_counts.push_back(static_cast<std::int64_t>(m));
@@ -69,7 +76,8 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
 
     // Dense alive-only span: the resolver's sparse touched_channels path
     // makes this O(m), independent of num_active and C.
-    const mac::RoundSummary summary = resolver_->Resolve(actions_, feedback_);
+    const mac::RoundSummary summary =
+        resolver_->Resolve(actions_, feedback_, fault_ptr);
     result.total_transmissions += summary.total_transmissions;
     if (config.record_trace) {
       RoundTrace rt;
@@ -81,7 +89,7 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
       }
       result.trace.push_back(std::move(rt));
     }
-    if (summary.primary_transmitters == 1) {
+    if (summary.primary_lone_delivered) {
       if (!result.solved) {
         result.solved = true;
         result.solved_round = round;
@@ -92,16 +100,37 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
     if (result.solved && config.stop_when_solved) break;
 
     finished_.assign(m, 0);
-    program.Advance(ctx, alive_, actions_, feedback_, finished_);
+    // All step-program assumption checks fire in Advance (Emit paths use
+    // hard CRMC_CHECKs only), so wrapping Advance alone keeps the graceful
+    // abort bit-exact with the coroutine engine's resume loop.
+    try {
+      program.Advance(ctx, alive_, actions_, feedback_, finished_);
+    } catch (const support::ProtocolAssumptionViolation&) {
+      if (!injector.active()) throw;
+      result.assumption_violated = true;
+      aborted = true;
+      break;
+    }
     std::size_t write = 0;
     for (std::size_t k = 0; k < m; ++k) {
       if (!finished_[k]) alive_[write++] = alive_[k];
     }
     alive_.resize(write);
+    // Livelock watchdog, identical to Engine::Run: progress means a lone
+    // message got through somewhere or a node terminated.
+    const bool progress = summary.lone_deliveries > 0 || write < m;
+    stall_streak = progress ? 0 : stall_streak + 1;
   }
 
   result.rounds_executed = round;
-  result.all_terminated = alive_.empty();
+  const mac::FaultCounters& fc = injector.counters();
+  result.jams_injected = fc.jams;
+  result.erasures_injected = fc.erasures;
+  result.cd_flips_injected = fc.cd_flips;
+  result.faults_injected = fc.Total();
+  result.crashed_nodes = static_cast<std::int32_t>(fc.crashes);
+  result.stall_rounds = stall_streak;
+  result.all_terminated = !aborted && alive_.empty() && fc.crashes == 0;
   for (const std::int64_t tx : node_tx_) {
     result.max_node_transmissions = std::max(result.max_node_transmissions, tx);
     result.mean_node_transmissions += static_cast<double>(tx);
@@ -112,6 +141,8 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
   }
   result.timed_out = !alive_.empty() && round >= config.max_rounds &&
                      !(result.solved && config.stop_when_solved);
+  result.wedged =
+      result.timed_out && stall_streak * 2 >= result.rounds_executed;
   return result;
 }
 

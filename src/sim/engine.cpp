@@ -64,17 +64,26 @@ std::vector<std::int64_t> RunResult::MetricValues(
   return out;
 }
 
-RunResult Engine::Run(const EngineConfig& config,
-                      const ProtocolFactory& protocol) {
+std::int64_t ValidateEngineConfig(const EngineConfig& config) {
   CRMC_REQUIRE_MSG(config.num_active >= 1,
-                   "need at least one activated node");
-  CRMC_REQUIRE(config.channels >= 1);
-  CRMC_REQUIRE(config.max_rounds >= 1);
+                   "need at least one activated node, got "
+                       << config.num_active);
+  CRMC_REQUIRE_MSG(config.channels >= 1,
+                   "need at least one channel, got " << config.channels);
+  CRMC_REQUIRE_MSG(config.max_rounds >= 1,
+                   "max_rounds must be at least 1, got " << config.max_rounds);
   const std::int64_t population =
       config.population == 0 ? config.num_active : config.population;
   CRMC_REQUIRE_MSG(population >= config.num_active,
-                   "population " << population << " < activated nodes "
-                                 << config.num_active);
+                   "num_active " << config.num_active
+                                 << " exceeds population " << population);
+  config.faults.Validate();
+  return population;
+}
+
+RunResult Engine::Run(const EngineConfig& config,
+                      const ProtocolFactory& protocol) {
+  const std::int64_t population = ValidateEngineConfig(config);
   CRMC_REQUIRE(protocol != nullptr);
 
   // Unique IDs for baselines that assume them (sampled from [1, n]).
@@ -115,6 +124,9 @@ RunResult Engine::Run(const EngineConfig& config,
   }
 
   RunResult result;
+  mac::FaultInjector injector(config.faults, config.seed);
+  mac::FaultInjector* const fault_ptr =
+      injector.active() ? &injector : nullptr;
   mac::Resolver resolver(config.channels, config.cd_model);
   std::vector<mac::Action> actions(
       static_cast<std::size_t>(config.num_active));
@@ -129,7 +141,26 @@ RunResult Engine::Run(const EngineConfig& config,
       static_cast<std::size_t>(config.num_active), 0);
 
   std::int64_t round = 0;
+  std::int64_t stall_streak = 0;
+  bool aborted = false;
   while (!alive.empty() && round < config.max_rounds) {
+    // Crash-stop sweep: one draw per alive node in ascending node order, at
+    // the start of the round, before the node gets to act. A crashed node's
+    // action slot is reset so a stale transmission cannot leak into this
+    // round's resolution.
+    if (injector.has_crashes()) {
+      std::size_t write = 0;
+      for (std::size_t read = 0; read < alive.size(); ++read) {
+        const NodeId idx = alive[read];
+        if (injector.DrawCrash()) {
+          actions[static_cast<std::size_t>(idx)] = mac::Action::Idle();
+        } else {
+          alive[write++] = idx;
+        }
+      }
+      alive.resize(write);
+      if (alive.empty()) break;
+    }
     if (config.record_active_counts) {
       result.active_counts.push_back(
           static_cast<std::int64_t>(alive.size()));
@@ -158,7 +189,8 @@ RunResult Engine::Run(const EngineConfig& config,
       }
     }
 
-    const mac::RoundSummary summary = resolver.Resolve(actions, feedback);
+    const mac::RoundSummary summary =
+        resolver.Resolve(actions, feedback, fault_ptr);
     result.total_transmissions += summary.total_transmissions;
     if (config.record_trace) {
       RoundTrace rt;
@@ -170,7 +202,7 @@ RunResult Engine::Run(const EngineConfig& config,
       }
       result.trace.push_back(std::move(rt));
     }
-    if (summary.primary_transmitters == 1) {
+    if (summary.primary_lone_delivered) {
       if (!result.solved) {
         result.solved = true;
         result.solved_round = round;
@@ -183,34 +215,59 @@ RunResult Engine::Run(const EngineConfig& config,
     // Deliver feedback and advance every live coroutine to its next round
     // request (or completion). A node that spent this round on an engine-
     // issued beacon is not resumed: its protocol action is still pending.
+    // When faults are active, a ProtocolAssumptionViolation raised by a
+    // protocol fed fault-corrupted feedback aborts the run gracefully
+    // instead of propagating (the model guarantee it checks really was
+    // broken — by the adversary, not by a bug).
+    const std::size_t alive_before_advance = alive.size();
     std::size_t write = 0;
-    for (std::size_t read = 0; read < alive.size(); ++read) {
-      const NodeId idx = alive[read];
-      const auto s = static_cast<std::size_t>(idx);
-      NodeContext& ctx = contexts[s];
-      ctx.round_ = round;
-      if (beacon_emitted[s]) {
-        alive[write++] = idx;  // beacon round: protocol runs next round
-        continue;
+    try {
+      for (std::size_t read = 0; read < alive.size(); ++read) {
+        const NodeId idx = alive[read];
+        const auto s = static_cast<std::size_t>(idx);
+        NodeContext& ctx = contexts[s];
+        ctx.round_ = round;
+        if (beacon_emitted[s]) {
+          alive[write++] = idx;  // beacon round: protocol runs next round
+          continue;
+        }
+        ctx.feedback_ = feedback[s];
+        CRMC_CHECK(ctx.resume_point_);
+        ctx.resume_point_.resume();
+        auto& task = tasks[s];
+        if (task.Done()) {
+          task.RethrowIfFailed();
+          actions[s] = mac::Action::Idle();
+        } else {
+          CRMC_CHECK_MSG(
+              ctx.has_pending_,
+              "protocol suspended without submitting a round action");
+          alive[write++] = idx;
+        }
       }
-      ctx.feedback_ = feedback[s];
-      CRMC_CHECK(ctx.resume_point_);
-      ctx.resume_point_.resume();
-      auto& task = tasks[s];
-      if (task.Done()) {
-        task.RethrowIfFailed();
-        actions[s] = mac::Action::Idle();
-      } else {
-        CRMC_CHECK_MSG(ctx.has_pending_,
-                       "protocol suspended without submitting a round action");
-        alive[write++] = idx;
-      }
+    } catch (const support::ProtocolAssumptionViolation&) {
+      if (!injector.active()) throw;
+      result.assumption_violated = true;
+      aborted = true;
+      break;
     }
     alive.resize(write);
+    // Livelock watchdog: a round made progress iff some channel delivered a
+    // lone message or some node terminated. (Crashes are not progress.)
+    const bool progress =
+        summary.lone_deliveries > 0 || write < alive_before_advance;
+    stall_streak = progress ? 0 : stall_streak + 1;
   }
 
   result.rounds_executed = round;
-  result.all_terminated = alive.empty();
+  const mac::FaultCounters& fc = injector.counters();
+  result.jams_injected = fc.jams;
+  result.erasures_injected = fc.erasures;
+  result.cd_flips_injected = fc.cd_flips;
+  result.faults_injected = fc.Total();
+  result.crashed_nodes = static_cast<std::int32_t>(fc.crashes);
+  result.stall_rounds = stall_streak;
+  result.all_terminated = !aborted && alive.empty() && fc.crashes == 0;
   for (const std::int64_t tx : node_tx) {
     result.max_node_transmissions =
         std::max(result.max_node_transmissions, tx);
@@ -222,6 +279,8 @@ RunResult Engine::Run(const EngineConfig& config,
   }
   result.timed_out = !alive.empty() && round >= config.max_rounds &&
                      !(result.solved && config.stop_when_solved);
+  result.wedged =
+      result.timed_out && stall_streak * 2 >= result.rounds_executed;
 
   for (const NodeContext& ctx : contexts) {
     if (ctx.phase_marks().empty() && ctx.metrics().empty()) continue;

@@ -7,7 +7,9 @@
 //
 // Solved-detection is the model-level ground truth from Section 3 of the
 // paper: the run is solved in the first round in which *exactly one* node
-// transmits on the primary channel, whether or not the protocol knows it.
+// transmits on the primary channel — and, when fault injection is active,
+// that lone transmission is actually delivered (not jammed or erased) —
+// whether or not the protocol knows it.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "mac/channel.h"
+#include "mac/faults.h"
 #include "sim/node_context.h"
 #include "sim/task.h"
 #include "sim/trace.h"
@@ -52,7 +55,16 @@ struct EngineConfig {
   // Record per-node transmission counts into RunResult::node_transmissions
   // (the summary fields are filled either way).
   bool record_node_transmissions = false;
+  // Adversarial fault injection (mac/faults.h). All rates default to zero,
+  // in which case the run is bit-identical to one without a fault layer.
+  mac::FaultSpec faults;
 };
+
+// Validates `config` (distinct std::invalid_argument message per violated
+// constraint, fault rates included) and returns the effective population
+// (population == 0 defaults to num_active). Shared by both engines so their
+// rejection behaviour cannot drift.
+std::int64_t ValidateEngineConfig(const EngineConfig& config);
 
 // Instrumentation emitted by one node (only nodes that produced any).
 struct NodeReport {
@@ -82,6 +94,29 @@ struct RunResult {
   // single node performed (the radio-network energy metric).
   std::int64_t max_node_transmissions = 0;
   double mean_node_transmissions = 0.0;
+  // ---- Fault-layer accounting (all zero on pristine runs) ----
+  // Faults actually injected, by kind and in total.
+  std::int64_t jams_injected = 0;
+  std::int64_t erasures_injected = 0;
+  std::int64_t cd_flips_injected = 0;
+  std::int64_t faults_injected = 0;
+  // Nodes removed by crash-stop failures (they never terminate, so
+  // all_terminated is false whenever this is nonzero).
+  std::int32_t crashed_nodes = 0;
+  // Livelock watchdog: length of the trailing streak of rounds in which
+  // nothing happened — no channel delivered a lone message and no node
+  // terminated. A Las Vegas protocol fed corrupted feedback can spin
+  // forever; this distinguishes "still grinding toward a solution" from
+  // "wedged" without waiting out max_rounds by eye.
+  std::int64_t stall_rounds = 0;
+  // True iff the run timed out AND at least half of it was trailing stall:
+  // the protocol had stopped making any observable progress.
+  bool wedged = false;
+  // True iff a protocol raised support::ProtocolAssumptionViolation while
+  // faults were active (e.g. a strong-CD protocol observing the
+  // "impossible" feedback an erasure produces) and the run was aborted
+  // gracefully. Without active faults the exception propagates as before.
+  bool assumption_violated = false;
   std::vector<std::int64_t> active_counts;  // iff record_active_counts
   std::vector<std::int64_t> node_transmissions;  // iff requested
   std::vector<RoundTrace> trace;                 // iff record_trace

@@ -33,6 +33,14 @@ void ExpectSameResult(const RunResult& coro, const RunResult& batch,
   EXPECT_EQ(coro.timed_out, batch.timed_out);
   EXPECT_EQ(coro.all_terminated, batch.all_terminated);
   EXPECT_EQ(coro.total_transmissions, batch.total_transmissions);
+  EXPECT_EQ(coro.jams_injected, batch.jams_injected);
+  EXPECT_EQ(coro.erasures_injected, batch.erasures_injected);
+  EXPECT_EQ(coro.cd_flips_injected, batch.cd_flips_injected);
+  EXPECT_EQ(coro.faults_injected, batch.faults_injected);
+  EXPECT_EQ(coro.crashed_nodes, batch.crashed_nodes);
+  EXPECT_EQ(coro.stall_rounds, batch.stall_rounds);
+  EXPECT_EQ(coro.wedged, batch.wedged);
+  EXPECT_EQ(coro.assumption_violated, batch.assumption_violated);
   EXPECT_EQ(coro.max_node_transmissions, batch.max_node_transmissions);
   EXPECT_DOUBLE_EQ(coro.mean_node_transmissions,
                    batch.mean_node_transmissions);
@@ -220,6 +228,99 @@ TEST(BatchEngineParity, LeafElection) { CheckLeafElectionParity(false); }
 
 TEST(BatchEngineParity, LeafElectionForceBinary) {
   CheckLeafElectionParity(true);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection parity: the adversary's draws come from dedicated streams
+// keyed on the action sequence, so faulty runs must stay bit-exact too —
+// including the fault counters, crash compaction, the stall watchdog, and
+// the graceful assumption-violation abort.
+// ---------------------------------------------------------------------------
+
+TEST(BatchEngineFaultParity, TwoActiveUnderFaults2000Seeds) {
+  EngineConfig config;
+  config.population = 256;
+  config.num_active = 2;
+  config.channels = 16;
+  config.max_rounds = 500;
+  config.faults.jam_rate = 0.15;
+  config.faults.flaky_cd_rate = 0.05;
+  auto program = MakeTwoActiveProgram();
+  CheckParity(config, core::MakeTwoActive(), *program, 2000);
+}
+
+TEST(BatchEngineFaultParity, GeneralUnderJamming) {
+  EngineConfig config;
+  config.population = 1024;
+  config.num_active = 64;
+  config.channels = 64;
+  config.max_rounds = 2000;
+  config.faults.jam_rate = 0.2;
+  auto program = MakeGeneralProgram();
+  CheckParity(config, core::MakeGeneral(), *program, 300);
+}
+
+TEST(BatchEngineFaultParity, GeneralUnderCrashes) {
+  EngineConfig config;
+  config.population = 1024;
+  config.num_active = 64;
+  config.channels = 64;
+  config.max_rounds = 2000;
+  config.faults.crash_rate = 0.01;
+  auto program = MakeGeneralProgram();
+  CheckParity(config, core::MakeGeneral(), *program, 300);
+}
+
+TEST(BatchEngineFaultParity, GeneralUnderAllFaults) {
+  EngineConfig config;
+  config.population = 1024;
+  config.num_active = 64;
+  config.channels = 64;
+  config.max_rounds = 2000;
+  config.faults.jam_rate = 0.1;
+  config.faults.erasure_rate = 0.05;  // triggers assumption-violation aborts
+  config.faults.flaky_cd_rate = 0.02;
+  config.faults.crash_rate = 0.005;
+  config.faults.fault_seed = 7;
+  auto program = MakeGeneralProgram();
+  CheckParity(config, core::MakeGeneral(), *program, 300);
+}
+
+TEST(BatchEngineFaultParity, KnockoutUnderFlakyCd) {
+  EngineConfig config;
+  config.population = 1 << 12;
+  config.num_active = 64;
+  config.channels = 1;
+  config.max_rounds = 2000;
+  config.faults.flaky_cd_rate = 0.05;
+  auto program = MakeKnockoutCdProgram();
+  CheckParity(config, core::MakeKnockoutCd(), *program, 200);
+}
+
+// The fault_seed must select a different adversary over the same protocol
+// randomness — and the same fault_seed must reproduce the same run.
+TEST(BatchEngineFaultParity, FaultSeedSelectsAdversary) {
+  EngineConfig config;
+  config.population = 1024;
+  config.num_active = 64;
+  config.channels = 64;
+  config.max_rounds = 2000;
+  config.seed = 42;
+  config.faults.jam_rate = 0.3;
+  auto program = MakeGeneralProgram();
+  BatchEngine engine;
+  const RunResult a0 = engine.Run(config, *program);
+  config.faults.fault_seed = 1;
+  const RunResult a1 = engine.Run(config, *program);
+  config.faults.fault_seed = 0;
+  const RunResult again = engine.Run(config, *program);
+  EXPECT_EQ(a0.rounds_executed, again.rounds_executed);
+  EXPECT_EQ(a0.jams_injected, again.jams_injected);
+  EXPECT_EQ(a0.solved_round, again.solved_round);
+  // Different adversaries virtually never jam the exact same schedule.
+  EXPECT_TRUE(a0.rounds_executed != a1.rounds_executed ||
+              a0.jams_injected != a1.jams_injected ||
+              a0.solved_round != a1.solved_round);
 }
 
 // Scratch reuse across *different* shapes: one engine instance must give

@@ -1,0 +1,305 @@
+// Unit tests for the adversarial fault-injection layer (mac/faults.h):
+// spec validation, per-fault channel semantics, engine-level crash/stall/
+// abort accounting, and zero-rate purity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/general.h"
+#include "core/two_active.h"
+#include "mac/channel.h"
+#include "mac/faults.h"
+#include "mac/resolver.h"
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
+#include "support/assert.h"
+
+namespace crmc {
+namespace {
+
+using mac::Action;
+using mac::FaultInjector;
+using mac::FaultSpec;
+using mac::Feedback;
+using mac::Message;
+using mac::Resolver;
+using mac::RoundSummary;
+
+std::string ThrownMessage(const FaultSpec& spec) {
+  try {
+    spec.Validate();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(FaultSpec, DefaultIsInactiveAndValid) {
+  const FaultSpec spec;
+  EXPECT_FALSE(spec.Any());
+  EXPECT_NO_THROW(spec.Validate());
+}
+
+TEST(FaultSpec, ValidateRejectsEachRateDistinctly) {
+  FaultSpec spec;
+  spec.jam_rate = 1.5;
+  EXPECT_NE(ThrownMessage(spec).find("jam_rate"), std::string::npos);
+  spec = FaultSpec{};
+  spec.erasure_rate = -0.1;
+  EXPECT_NE(ThrownMessage(spec).find("erasure_rate"), std::string::npos);
+  spec = FaultSpec{};
+  spec.flaky_cd_rate = 2.0;
+  EXPECT_NE(ThrownMessage(spec).find("flaky_cd_rate"), std::string::npos);
+  spec = FaultSpec{};
+  spec.crash_rate = -1.0;
+  EXPECT_NE(ThrownMessage(spec).find("crash_rate"), std::string::npos);
+}
+
+TEST(FaultSpec, AnyDetectsEachRate) {
+  FaultSpec spec;
+  spec.jam_rate = 0.1;
+  EXPECT_TRUE(spec.Any());
+  spec = FaultSpec{};
+  spec.crash_rate = 0.1;
+  EXPECT_TRUE(spec.Any());
+  spec = FaultSpec{};
+  spec.fault_seed = 99;  // a seed alone is not a fault
+  EXPECT_FALSE(spec.Any());
+}
+
+// --- resolver-level channel faults ----------------------------------------
+
+TEST(FaultInjection, CertainJamForcesCollisionEverywhere) {
+  FaultSpec spec;
+  spec.jam_rate = 1.0;
+  FaultInjector inj(spec, /*run_seed=*/1);
+  Resolver r(4);
+  std::vector<Feedback> fb;
+  const RoundSummary s = r.Resolve(
+      std::vector<Action>{Action::Transmit(1, Message{5}), Action::Listen(1),
+                          Action::Listen(3)},
+      fb, &inj);
+  // Lone transmitter on the primary channel, but the jam drowns it: every
+  // participant observes collision and the round does not solve.
+  EXPECT_TRUE(fb[0].Collision());
+  EXPECT_TRUE(fb[1].Collision());
+  EXPECT_TRUE(fb[2].Collision());
+  EXPECT_EQ(s.primary_transmitters, 1);
+  EXPECT_FALSE(s.primary_lone_delivered);
+  EXPECT_EQ(s.lone_deliveries, 0);
+  EXPECT_EQ(inj.counters().jams, 2);  // channels 1 and 3
+  EXPECT_EQ(inj.counters().Total(), 2);
+}
+
+TEST(FaultInjection, CertainErasureSilencesLoneTransmitter) {
+  FaultSpec spec;
+  spec.erasure_rate = 1.0;
+  FaultInjector inj(spec, 1);
+  Resolver r(4);
+  std::vector<Feedback> fb;
+  const RoundSummary s = r.Resolve(
+      std::vector<Action>{Action::Transmit(1, Message{5}), Action::Listen(1),
+                          Action::Transmit(2), Action::Transmit(2)},
+      fb, &inj);
+  // Channel 1's lone message is dropped: everyone there observes silence —
+  // including the transmitter, which under strong CD is feedback the model
+  // says is impossible.
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_TRUE(fb[1].Silence());
+  // A collision is not a lone message; erasure does not apply to channel 2.
+  EXPECT_TRUE(fb[2].Collision());
+  EXPECT_TRUE(fb[3].Collision());
+  EXPECT_FALSE(s.primary_lone_delivered);
+  EXPECT_EQ(s.lone_deliveries, 0);
+  EXPECT_EQ(inj.counters().erasures, 1);
+}
+
+TEST(FaultInjection, CertainFlakyCdFlipsEveryObservation) {
+  FaultSpec spec;
+  spec.flaky_cd_rate = 1.0;
+  FaultInjector inj(spec, 1);
+  Resolver r(4);
+  std::vector<Feedback> fb;
+  r.Resolve(std::vector<Action>{
+                Action::Transmit(1, Message{9}),  // lone message -> collision
+                Action::Listen(2),                // silence -> collision
+                Action::Transmit(3), Action::Transmit(3),  // collision ->
+                                                           // silence
+                Action::Idle()},                  // idle: no detector at all
+            fb, &inj);
+  EXPECT_TRUE(fb[0].Collision());
+  EXPECT_EQ(fb[0].message.payload, 0u);  // corrupted payload is cleared
+  EXPECT_TRUE(fb[1].Collision());
+  EXPECT_TRUE(fb[2].Silence());
+  EXPECT_TRUE(fb[3].Silence());
+  EXPECT_TRUE(fb[4].Silence());
+  EXPECT_EQ(inj.counters().cd_flips, 4);  // one per non-idle participant
+}
+
+TEST(FaultInjection, NullInjectorMatchesInactiveInjector) {
+  // An all-zero spec consumes no randomness, so feeding the injector to the
+  // resolver must be indistinguishable from not having one.
+  FaultSpec spec;
+  spec.fault_seed = 123;
+  FaultInjector inj(spec, 1);
+  EXPECT_FALSE(inj.active());
+  Resolver r1(4), r2(4);
+  std::vector<Feedback> fb1, fb2;
+  const std::vector<Action> actions{Action::Transmit(1, Message{7}),
+                                    Action::Listen(1), Action::Transmit(2)};
+  const RoundSummary s1 = r1.Resolve(actions, fb1, &inj);
+  const RoundSummary s2 = r2.Resolve(actions, fb2);
+  EXPECT_EQ(s1.lone_deliveries, s2.lone_deliveries);
+  EXPECT_EQ(s1.primary_lone_delivered, s2.primary_lone_delivered);
+  for (std::size_t i = 0; i < fb1.size(); ++i) {
+    EXPECT_EQ(fb1[i].observation, fb2[i].observation);
+    EXPECT_EQ(fb1[i].message, fb2[i].message);
+  }
+  EXPECT_EQ(inj.counters().Total(), 0);
+}
+
+// --- engine-level semantics ------------------------------------------------
+
+sim::Task<void> TransmitPrimaryForever(sim::NodeContext& ctx) {
+  for (;;) co_await ctx.Transmit(mac::kPrimaryChannel);
+}
+
+sim::EngineConfig TwoForeverConfig(std::int64_t max_rounds) {
+  sim::EngineConfig config;
+  config.num_active = 2;
+  config.channels = 2;
+  config.max_rounds = max_rounds;
+  return config;
+}
+
+TEST(FaultEngine, CertainCrashKillsEveryoneInRoundZero) {
+  sim::EngineConfig config = TwoForeverConfig(100);
+  config.faults.crash_rate = 1.0;
+  const sim::RunResult r = sim::Engine::Run(config, [](sim::NodeContext& ctx) {
+    return TransmitPrimaryForever(ctx);
+  });
+  EXPECT_EQ(r.crashed_nodes, 2);
+  EXPECT_EQ(r.rounds_executed, 0);  // nobody survived to round 0's actions
+  EXPECT_FALSE(r.solved);
+  EXPECT_FALSE(r.timed_out);
+  // Crashed nodes never ran to completion.
+  EXPECT_FALSE(r.all_terminated);
+}
+
+TEST(FaultEngine, StallWatchdogFlagsWedgedRuns) {
+  // Two nodes colliding on the primary channel forever: no lone delivery,
+  // no termination — every round is a stall round.
+  const sim::RunResult r =
+      sim::Engine::Run(TwoForeverConfig(50), [](sim::NodeContext& ctx) {
+        return TransmitPrimaryForever(ctx);
+      });
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.stall_rounds, 50);
+  EXPECT_TRUE(r.wedged);
+}
+
+sim::Task<void> TransmitTwiceThenStop(sim::NodeContext& ctx) {
+  co_await ctx.Transmit(mac::kPrimaryChannel);
+  co_await ctx.Transmit(mac::kPrimaryChannel);
+}
+
+TEST(FaultEngine, TerminationCountsAsProgress) {
+  // Both nodes terminate after two rounds: the run ends with zero trailing
+  // stall and is not wedged even though it never solved.
+  const sim::RunResult r =
+      sim::Engine::Run(TwoForeverConfig(50), [](sim::NodeContext& ctx) {
+        return TransmitTwiceThenStop(ctx);
+      });
+  EXPECT_FALSE(r.solved);
+  EXPECT_TRUE(r.all_terminated);
+  EXPECT_EQ(r.stall_rounds, 0);
+  EXPECT_FALSE(r.wedged);
+}
+
+TEST(FaultEngine, CertainJamNeverSolvesButRunsGracefully) {
+  sim::EngineConfig config;
+  config.population = 256;
+  config.num_active = 2;
+  config.channels = 8;
+  config.max_rounds = 200;
+  config.faults.jam_rate = 1.0;
+  sim::RunResult r;
+  ASSERT_NO_THROW(r = sim::Engine::Run(config, core::MakeTwoActive()));
+  EXPECT_FALSE(r.solved);
+  EXPECT_TRUE(r.timed_out || r.assumption_violated);
+  EXPECT_GT(r.jams_injected, 0);
+}
+
+TEST(FaultEngine, ErasureAbortIsGracefulUnderActiveFaults) {
+  // erasure_rate = 1 guarantees no lone message is ever delivered, so the
+  // run cannot solve; a strong-CD protocol observing the impossible
+  // silence-while-transmitting surfaces ProtocolAssumptionViolation, which
+  // active fault injection converts into a graceful abort.
+  sim::EngineConfig config;
+  config.population = 1024;
+  config.num_active = 64;
+  config.channels = 64;
+  config.max_rounds = 500;
+  config.faults.erasure_rate = 1.0;
+  sim::RunResult r;
+  ASSERT_NO_THROW(r = sim::Engine::Run(config, core::MakeGeneral()));
+  EXPECT_FALSE(r.solved);
+  EXPECT_TRUE(r.assumption_violated || r.timed_out);
+  EXPECT_GT(r.erasures_injected, 0);
+}
+
+TEST(FaultEngine, FaultyRunsAreDeterministic) {
+  sim::EngineConfig config;
+  config.population = 1024;
+  config.num_active = 64;
+  config.channels = 64;
+  config.max_rounds = 2000;
+  config.seed = 99;
+  config.faults.jam_rate = 0.2;
+  config.faults.crash_rate = 0.01;
+  config.faults.flaky_cd_rate = 0.02;
+  const sim::RunResult a = sim::Engine::Run(config, core::MakeGeneral());
+  const sim::RunResult b = sim::Engine::Run(config, core::MakeGeneral());
+  EXPECT_EQ(a.solved, b.solved);
+  EXPECT_EQ(a.solved_round, b.solved_round);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.jams_injected, b.jams_injected);
+  EXPECT_EQ(a.cd_flips_injected, b.cd_flips_injected);
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
+  EXPECT_EQ(a.stall_rounds, b.stall_rounds);
+}
+
+TEST(FaultEngine, ZeroRatesAreBitIdenticalToNoFaultLayer) {
+  sim::EngineConfig pristine;
+  pristine.population = 1024;
+  pristine.num_active = 64;
+  pristine.channels = 64;
+  pristine.seed = 4242;
+  sim::EngineConfig zeroed = pristine;
+  zeroed.faults.fault_seed = 0xdeadbeef;  // still inactive: all rates zero
+  const sim::RunResult a = sim::Engine::Run(pristine, core::MakeGeneral());
+  const sim::RunResult b = sim::Engine::Run(zeroed, core::MakeGeneral());
+  EXPECT_EQ(a.solved_round, b.solved_round);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.total_transmissions, b.total_transmissions);
+  EXPECT_EQ(b.faults_injected, 0);
+  EXPECT_EQ(b.crashed_nodes, 0);
+  EXPECT_FALSE(b.assumption_violated);
+}
+
+TEST(FaultEngine, RejectsBadFaultRates) {
+  sim::EngineConfig config = TwoForeverConfig(10);
+  config.faults.jam_rate = 1.01;
+  EXPECT_THROW(sim::Engine::Run(config,
+                                [](sim::NodeContext& ctx) {
+                                  return TransmitPrimaryForever(ctx);
+                                }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crmc

@@ -11,6 +11,9 @@
 #include "harness/runner.h"
 #include "harness/stats.h"
 #include "harness/table.h"
+#include "mac/channel.h"
+#include "sim/node_context.h"
+#include "sim/task.h"
 
 namespace crmc::harness {
 namespace {
@@ -271,6 +274,54 @@ TEST(Runner, BatchFastPathMatchesCoroutineOracle) {
   const TrialSetResult oracle = RunTrials(spec, handle, 200);
   EXPECT_EQ(fast.solved_rounds, oracle.solved_rounds);
   EXPECT_EQ(fast.unsolved, oracle.unsolved);
+}
+
+// Failed trials must be reported as counts, not folded into the round
+// statistics: a trial capped at max_rounds would otherwise drag the mean
+// toward the cap.
+// Deterministically unsolvable: every activated node transmits on the
+// primary channel forever, so no round ever has a lone delivery. The round
+// cap must surface as failure *counts*, never as samples in the statistics.
+sim::Task<void> CollidePrimaryForever(sim::NodeContext& ctx) {
+  for (;;) co_await ctx.Transmit(mac::kPrimaryChannel);
+}
+
+TEST(Runner, TimedOutTrialsAreCountedNotAveraged) {
+  TrialSpec spec;
+  spec.num_active = 2;
+  spec.population = 256;
+  spec.channels = 8;
+  spec.max_rounds = 5;
+  const ProtocolHandle handle(
+      [](sim::NodeContext& ctx) { return CollidePrimaryForever(ctx); });
+  const TrialSetResult r = RunTrials(spec, handle, 20);
+  EXPECT_EQ(r.unsolved, 20);
+  EXPECT_EQ(r.timed_out, 20);
+  EXPECT_EQ(r.aborted, 0);
+  EXPECT_TRUE(r.solved_rounds.empty());
+  EXPECT_EQ(r.summary.count, 0);  // the cap never entered the statistics
+}
+
+TEST(Runner, FaultySweepKeepsFailureBreakdown) {
+  TrialSpec spec;
+  spec.num_active = 2;
+  spec.population = 256;
+  spec.channels = 8;
+  spec.max_rounds = 40;
+  spec.faults.jam_rate = 1.0;  // nothing is ever delivered
+  const ProtocolHandle handle = HandleFor(AlgorithmByName("two_active"));
+  const TrialSetResult r = RunTrials(spec, handle, 10);
+  EXPECT_EQ(r.unsolved, 10);
+  EXPECT_EQ(r.timed_out + r.aborted, 10);
+  EXPECT_GT(r.faults_injected, 0);
+  EXPECT_TRUE(r.solved_rounds.empty());
+  // And the batch fast path agrees on the breakdown.
+  spec.use_batch_engine = false;
+  const TrialSetResult oracle = RunTrials(spec, handle, 10);
+  EXPECT_EQ(r.timed_out, oracle.timed_out);
+  EXPECT_EQ(r.aborted, oracle.aborted);
+  EXPECT_EQ(r.wedged, oracle.wedged);
+  EXPECT_EQ(r.faults_injected, oracle.faults_injected);
 }
 
 TEST(Runner, KeepRunsRetainsResults) {

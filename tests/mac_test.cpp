@@ -144,5 +144,65 @@ TEST(Resolver, ScratchStateDoesNotLeakAcrossRounds) {
   EXPECT_EQ(r.ActivityOf(2).listeners, 0);
 }
 
+// ---------------------------------------------------------------------------
+// CdModel::kReceiverOnly edge cases: half-duplex radios never sense their
+// own channel, so a transmitter learns nothing — even when it is the lone
+// sender, and even when there is nobody listening at all.
+// ---------------------------------------------------------------------------
+
+TEST(ResolverReceiverOnly, LoneTransmitterObservesNothing) {
+  Resolver r(4, CdModel::kReceiverOnly);
+  const auto fb = ResolveAll(
+      r, {Action::Transmit(1, Message{42}), Action::Listen(1)});
+  // The sender's own message was delivered, but half-duplex hardware
+  // reports the blank default observation (reads as silence) to it.
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_EQ(fb[0].message.payload, 0u);
+  // The listener still hears the message: receiving is unimpaired.
+  EXPECT_TRUE(fb[1].MessageHeard());
+  EXPECT_EQ(fb[1].message.payload, 42u);
+}
+
+TEST(ResolverReceiverOnly, TwoTransmittersZeroListeners) {
+  Resolver r(4, CdModel::kReceiverOnly);
+  const auto fb =
+      ResolveAll(r, {Action::Transmit(2), Action::Transmit(2)});
+  // A collision happened, but with no receivers on the channel *nobody*
+  // observes it; both colliders read blank feedback.
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_TRUE(fb[1].Silence());
+  EXPECT_FALSE(fb[0].Collision());
+  EXPECT_FALSE(fb[1].Collision());
+  // The model-level summary still knows the truth (solved-detection is
+  // engine ground truth, not node observation).
+  EXPECT_EQ(r.ActivityOf(2).transmitters, 2);
+}
+
+TEST(ResolverReceiverOnly, ListenerStillSeesCollision) {
+  Resolver r(4, CdModel::kReceiverOnly);
+  const auto fb = ResolveAll(
+      r, {Action::Transmit(3), Action::Transmit(3), Action::Listen(3)});
+  EXPECT_TRUE(fb[0].Silence());
+  EXPECT_TRUE(fb[1].Silence());
+  EXPECT_TRUE(fb[2].Collision());
+}
+
+// Pristine-path invariants of the new RoundSummary delivery fields.
+TEST(Resolver, SummaryCountsLoneDeliveries) {
+  Resolver r(4);
+  std::vector<Feedback> fb;
+  const RoundSummary s = r.Resolve(
+      std::vector<Action>{Action::Transmit(1), Action::Transmit(2),
+                          Action::Transmit(3), Action::Transmit(3)},
+      fb);
+  EXPECT_EQ(s.lone_deliveries, 2);  // channels 1 and 2; 3 collided
+  EXPECT_TRUE(s.primary_lone_delivered);
+
+  const RoundSummary s2 = r.Resolve(
+      std::vector<Action>{Action::Transmit(1), Action::Transmit(1)}, fb);
+  EXPECT_EQ(s2.lone_deliveries, 0);
+  EXPECT_FALSE(s2.primary_lone_delivered);
+}
+
 }  // namespace
 }  // namespace crmc::mac

@@ -343,6 +343,30 @@ TEST(Engine, RejectsBadConfig) {
                std::invalid_argument);
 }
 
+// Each constraint rejects with its own message, so a bad sweep config names
+// the field at fault instead of a generic "invalid config".
+TEST(Engine, RejectsBadConfigWithDistinctMessages) {
+  const auto message_for = [](const EngineConfig& config) -> std::string {
+    try {
+      ValidateEngineConfig(config);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_for(Config(0, 1)).find("activated node"),
+            std::string::npos);
+  EXPECT_NE(message_for(Config(2, 0)).find("channel"), std::string::npos);
+  EngineConfig bad_rounds = Config(2, 1);
+  bad_rounds.max_rounds = 0;
+  EXPECT_NE(message_for(bad_rounds).find("max_rounds"), std::string::npos);
+  EngineConfig bad_pop = Config(5, 1);
+  bad_pop.population = 3;
+  EXPECT_NE(message_for(bad_pop).find("exceeds population"),
+            std::string::npos);
+  EXPECT_EQ(message_for(Config(2, 1)), "");  // a valid config passes
+}
+
 TEST(Engine, StopWhenSolvedFalseRunsToCompletion) {
   EngineConfig c = Config(1, 1);
   c.stop_when_solved = false;

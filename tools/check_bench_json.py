@@ -1,16 +1,30 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_engine.json artifact and gate throughput regressions.
+"""Validate crmc bench JSON artifacts and gate regressions.
 
-Usage:
-    check_bench_json.py BENCH_engine.json
-    check_bench_json.py NEW.json --baseline BENCH_engine.json \
-        [--max-regression 0.20] [--min-speedup 1.0]
+Supports two schemas, dispatched on the artifact's "schema" field:
 
-Without --baseline only the schema is validated. With --baseline, every grid
-point present in both files is compared on the batch engine's trials/sec and
-the check fails if any point regressed by more than --max-regression
-(default 20%). Trial counts may differ between the two files (quick vs full
-runs); points are keyed by (protocol, population, num_active, channels).
+  crmc.bench_engine.v1   throughput grid (bench_engine_throughput --json).
+      check_bench_json.py BENCH_engine.json
+      check_bench_json.py NEW.json --baseline BENCH_engine.json \\
+          [--max-regression 0.20] [--min-speedup 1.0]
+      Without --baseline only the schema is validated. With --baseline,
+      every grid point present in both files is compared on the batch
+      engine's trials/sec and the check fails if any point regressed by
+      more than --max-regression (default 20%). Trial counts may differ
+      (quick vs full runs); points are keyed by (protocol, population,
+      num_active, channels).
+
+  crmc.bench_faults.v1   fault-degradation grid (bench_fault_tolerance
+      --json). Validates the schema, cross-checks the counters
+      (solved + unsolved == trials, success_rate consistent), and enforces
+      jam-axis monotonicity: within each group of points identical except
+      for jam_rate, success_rate must be non-increasing as jam_rate rises
+      (tolerance --monotone-tolerance, default 0.05, for sampling noise).
+      --baseline is not meaningful for this schema (usage error).
+
+Self-test: check_bench_json.py --self-test runs the validators against
+in-memory good/bad documents; wired into ctest so the checker itself is
+under test.
 
 Exit codes: 0 ok, 1 validation/regression failure, 2 usage error.
 """
@@ -19,15 +33,20 @@ import argparse
 import json
 import sys
 
-SCHEMA = "crmc.bench_engine.v1"
+ENGINE_SCHEMA = "crmc.bench_engine.v1"
+FAULTS_SCHEMA = "crmc.bench_faults.v1"
 ENGINE_METRICS = ("seconds", "trials_per_sec", "rounds_per_sec",
                   "node_rounds_per_sec")
 POINT_KEYS = ("protocol", "population", "num_active", "channels")
+FAULT_RATE_KEYS = ("jam_rate", "erasure_rate", "flaky_cd_rate", "crash_rate")
+
+
+class ValidationFailure(Exception):
+    """Raised on any artifact problem; main() turns it into exit code 1."""
 
 
 def fail(msg):
-    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    raise ValidationFailure(msg)
 
 
 def load(path):
@@ -38,15 +57,43 @@ def load(path):
         fail(f"{path}: {e}")
 
 
-def validate(doc, path):
-    """Checks the crmc.bench_engine.v1 schema; returns the points list."""
+def _check_points_container(doc, path):
     if not isinstance(doc, dict):
         fail(f"{path}: top level must be an object")
-    if doc.get("schema") != SCHEMA:
-        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
     points = doc.get("points")
     if not isinstance(points, list) or not points:
         fail(f"{path}: 'points' must be a non-empty array")
+    return points
+
+
+def _check_positive_int(p, key, where):
+    v = p.get(key)
+    if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+        fail(f"{where}: '{key}' must be a positive integer")
+    return v
+
+
+def _check_count(p, key, where):
+    v = p.get(key)
+    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        fail(f"{where}: '{key}' must be a non-negative integer")
+    return v
+
+
+def _check_number(container, key, where, lo=None, hi=None):
+    v = container.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        fail(f"{where}: '{key}' must be a number")
+    if lo is not None and v < lo:
+        fail(f"{where}: '{key}' is {v}, below {lo}")
+    if hi is not None and v > hi:
+        fail(f"{where}: '{key}' is {v}, above {hi}")
+    return v
+
+
+def validate_engine(doc, path):
+    """Checks the crmc.bench_engine.v1 schema; returns the points list."""
+    points = _check_points_container(doc, path)
     for i, p in enumerate(points):
         where = f"{path}: points[{i}]"
         if not isinstance(p, dict):
@@ -54,9 +101,7 @@ def validate(doc, path):
         if not isinstance(p.get("protocol"), str) or not p["protocol"]:
             fail(f"{where}: 'protocol' must be a non-empty string")
         for key in ("population", "num_active", "channels", "trials"):
-            v = p.get(key)
-            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
-                fail(f"{where}: '{key}' must be a positive integer")
+            _check_positive_int(p, key, where)
         engines = p.get("engines")
         if not isinstance(engines, dict):
             fail(f"{where}: 'engines' must be an object")
@@ -65,80 +110,296 @@ def validate(doc, path):
             if not isinstance(eng, dict):
                 fail(f"{where}: engines.{name} missing")
             for metric in ENGINE_METRICS:
-                v = eng.get(metric)
-                if not isinstance(v, (int, float)) or isinstance(v, bool):
-                    fail(f"{where}: engines.{name}.{metric} must be a number")
-                if v < 0:
-                    fail(f"{where}: engines.{name}.{metric} is negative")
-        sp = p.get("speedup_trials_per_sec")
-        if not isinstance(sp, (int, float)) or isinstance(sp, bool) or sp < 0:
-            fail(f"{where}: 'speedup_trials_per_sec' must be a number >= 0")
+                _check_number(eng, metric, f"{where}: engines.{name}", lo=0)
+        _check_number(p, "speedup_trials_per_sec", where, lo=0)
     keys = [tuple(p[k] for k in POINT_KEYS) for p in points]
     if len(set(keys)) != len(keys):
         fail(f"{path}: duplicate grid points")
     return points
 
 
+def validate_faults(doc, path):
+    """Checks the crmc.bench_faults.v1 schema; returns the points list."""
+    points = _check_points_container(doc, path)
+    for i, p in enumerate(points):
+        where = f"{path}: points[{i}]"
+        if not isinstance(p, dict):
+            fail(f"{where}: must be an object")
+        if not isinstance(p.get("protocol"), str) or not p["protocol"]:
+            fail(f"{where}: 'protocol' must be a non-empty string")
+        for key in ("population", "num_active", "channels", "trials",
+                    "max_rounds"):
+            _check_positive_int(p, key, where)
+        faults = p.get("faults")
+        if not isinstance(faults, dict):
+            fail(f"{where}: 'faults' must be an object")
+        for key in FAULT_RATE_KEYS:
+            _check_number(faults, key, f"{where}: faults", lo=0.0, hi=1.0)
+        solved = _check_count(p, "solved", where)
+        unsolved = _check_count(p, "unsolved", where)
+        timed_out = _check_count(p, "timed_out", where)
+        aborted = _check_count(p, "aborted", where)
+        wedged = _check_count(p, "wedged", where)
+        _check_count(p, "faults_injected", where)
+        _check_count(p, "crashed_nodes", where)
+        trials = p["trials"]
+        if solved + unsolved != trials:
+            fail(f"{where}: solved {solved} + unsolved {unsolved} "
+                 f"!= trials {trials}")
+        if timed_out + aborted > unsolved:
+            fail(f"{where}: timed_out {timed_out} + aborted {aborted} "
+                 f"exceeds unsolved {unsolved}")
+        if wedged > timed_out:
+            fail(f"{where}: wedged {wedged} > timed_out {timed_out}")
+        rate = _check_number(p, "success_rate", where, lo=0.0, hi=1.0)
+        if abs(rate - solved / trials) > 1e-9:
+            fail(f"{where}: success_rate {rate} != solved/trials "
+                 f"{solved / trials}")
+        _check_number(p, "mean_solved_rounds", where, lo=0)
+        _check_number(p, "round_inflation", where, lo=0)
+    return points
+
+
+def check_jam_monotonicity(points, tolerance):
+    """success_rate must not rise with jam_rate, all else equal."""
+    groups = {}
+    for p in points:
+        f = p["faults"]
+        key = (tuple(p[k] for k in POINT_KEYS), p["max_rounds"],
+               f["erasure_rate"], f["flaky_cd_rate"], f["crash_rate"])
+        groups.setdefault(key, []).append(p)
+    checked = 0
+    for key, group in groups.items():
+        group.sort(key=lambda p: p["faults"]["jam_rate"])
+        for prev, cur in zip(group, group[1:]):
+            checked += 1
+            if cur["success_rate"] > prev["success_rate"] + tolerance:
+                fail(f"{cur['protocol']} n={cur['population']}: success_rate "
+                     f"rose from {prev['success_rate']:.3f} (jam "
+                     f"{prev['faults']['jam_rate']}) to "
+                     f"{cur['success_rate']:.3f} (jam "
+                     f"{cur['faults']['jam_rate']}), tolerance {tolerance}")
+    return checked
+
+
 def point_key(p):
     return tuple(p[k] for k in POINT_KEYS)
 
 
+def check_engine_baseline(points, base_points, max_regression):
+    base = {point_key(p): p for p in base_points}
+    compared = 0
+    for p in points:
+        b = base.get(point_key(p))
+        if b is None:
+            continue
+        compared += 1
+        new_rate = p["engines"]["batch"]["trials_per_sec"]
+        old_rate = b["engines"]["batch"]["trials_per_sec"]
+        if old_rate <= 0:
+            continue
+        floor = old_rate * (1.0 - max_regression)
+        label = (f"{p['protocol']} n={p['population']} "
+                 f"active={p['num_active']} C={p['channels']}")
+        if new_rate < floor:
+            fail(f"{label}: batch trials/sec regressed "
+                 f"{new_rate:.1f} < {floor:.1f} "
+                 f"(baseline {old_rate:.1f}, allowed drop "
+                 f"{max_regression:.0%})")
+        print(f"{label}: {new_rate:.1f} vs baseline {old_rate:.1f} ok")
+    if compared == 0:
+        fail("no grid points in common with the baseline")
+    return compared
+
+
+def run_checks(args):
+    doc = load(args.artifact)
+    if not isinstance(doc, dict):
+        fail(f"{args.artifact}: top level must be an object")
+    schema = doc.get("schema")
+    if schema == ENGINE_SCHEMA:
+        points = validate_engine(doc, args.artifact)
+        print(f"{args.artifact}: schema ok, {len(points)} grid points")
+        if args.min_speedup is not None:
+            for p in points:
+                sp = p["speedup_trials_per_sec"]
+                if sp < args.min_speedup:
+                    fail(f"{p['protocol']} n={p['population']} "
+                         f"C={p['channels']}: speedup {sp:.2f} < "
+                         f"--min-speedup {args.min_speedup:.2f}")
+            print(f"all points have speedup >= {args.min_speedup:.2f}")
+        if args.baseline:
+            base_points = validate_engine(load(args.baseline), args.baseline)
+            compared = check_engine_baseline(points, base_points,
+                                             args.max_regression)
+            print(f"no regression > {args.max_regression:.0%} across "
+                  f"{compared} points")
+    elif schema == FAULTS_SCHEMA:
+        if args.baseline:
+            print(f"--baseline is not supported for {FAULTS_SCHEMA} "
+                  "(outcomes are deterministic; no timing to gate)",
+                  file=sys.stderr)
+            sys.exit(2)
+        points = validate_faults(doc, args.artifact)
+        print(f"{args.artifact}: schema ok, {len(points)} fault points")
+        checked = check_jam_monotonicity(points, args.monotone_tolerance)
+        print(f"jam-axis monotonicity ok across {checked} adjacent pairs")
+    else:
+        fail(f"{args.artifact}: schema is {schema!r}, expected "
+             f"{ENGINE_SCHEMA!r} or {FAULTS_SCHEMA!r}")
+    print("check_bench_json: OK")
+
+
+# --------------------------------------------------------------------------
+# Self-test
+# --------------------------------------------------------------------------
+
+def _engine_point(**overrides):
+    p = {
+        "protocol": "general", "population": 4096, "num_active": 256,
+        "channels": 32, "trials": 100,
+        "engines": {
+            name: {"seconds": 1.0, "trials_per_sec": 100.0,
+                   "rounds_per_sec": 1000.0, "node_rounds_per_sec": 1e6}
+            for name in ("coroutine", "batch")
+        },
+        "speedup_trials_per_sec": 1.0,
+    }
+    p.update(overrides)
+    return p
+
+
+def _faults_point(jam=0.0, success=1.0, trials=100, **overrides):
+    solved = round(success * trials)
+    p = {
+        "protocol": "general", "population": 4096, "num_active": 256,
+        "channels": 32, "trials": trials, "max_rounds": 2000,
+        "faults": {"jam_rate": jam, "erasure_rate": 0.0,
+                   "flaky_cd_rate": 0.0, "crash_rate": 0.0},
+        "solved": solved, "unsolved": trials - solved,
+        "timed_out": trials - solved, "aborted": 0, "wedged": 0,
+        "success_rate": solved / trials, "mean_solved_rounds": 10.0,
+        "round_inflation": 1.0, "faults_injected": 0, "crashed_nodes": 0,
+    }
+    p.update(overrides)
+    return p
+
+
+def _expect_ok(what, fn):
+    try:
+        fn()
+    except ValidationFailure as e:
+        print(f"self-test: {what}: unexpected failure: {e}", file=sys.stderr)
+        return False
+    return True
+
+
+def _expect_fail(what, fn, needle):
+    try:
+        fn()
+    except ValidationFailure as e:
+        if needle in str(e):
+            return True
+        print(f"self-test: {what}: failed with {e!r}, expected substring "
+              f"{needle!r}", file=sys.stderr)
+        return False
+    print(f"self-test: {what}: expected a failure, got none", file=sys.stderr)
+    return False
+
+
+def self_test():
+    engine_doc = {"schema": ENGINE_SCHEMA, "points": [_engine_point()]}
+    faults_doc = {
+        "schema": FAULTS_SCHEMA,
+        "points": [_faults_point(jam=0.0, success=1.0),
+                   _faults_point(jam=0.2, success=0.8),
+                   _faults_point(jam=0.4, success=0.5)],
+    }
+    rising = {
+        "schema": FAULTS_SCHEMA,
+        "points": [_faults_point(jam=0.0, success=0.5),
+                   _faults_point(jam=0.4, success=0.9)],
+    }
+    bad_counts = {
+        "schema": FAULTS_SCHEMA,
+        "points": [_faults_point(jam=0.0, success=1.0, unsolved=5)],
+    }
+    bad_rate = {
+        "schema": FAULTS_SCHEMA,
+        "points": [_faults_point(jam=1.5)],
+    }
+    bad_success = {
+        "schema": FAULTS_SCHEMA,
+        "points": [_faults_point(jam=0.0, success=1.0, success_rate=0.5)],
+    }
+    checks = [
+        _expect_ok("engine schema accepts a valid doc",
+                   lambda: validate_engine(engine_doc, "mem")),
+        _expect_fail("engine schema rejects a missing engine",
+                     lambda: validate_engine(
+                         {"schema": ENGINE_SCHEMA,
+                          "points": [_engine_point(engines={})]}, "mem"),
+                     "coroutine missing"),
+        _expect_ok("faults schema accepts a valid doc",
+                   lambda: validate_faults(faults_doc, "mem")),
+        _expect_ok("monotone check accepts a falling curve",
+                   lambda: check_jam_monotonicity(faults_doc["points"], 0.05)),
+        _expect_fail("monotone check rejects a rising curve",
+                     lambda: check_jam_monotonicity(rising["points"], 0.05),
+                     "success_rate rose"),
+        _expect_fail("faults schema rejects inconsistent counts",
+                     lambda: validate_faults(bad_counts, "mem"),
+                     "!= trials"),
+        _expect_fail("faults schema rejects out-of-range rates",
+                     lambda: validate_faults(bad_rate, "mem"),
+                     "above 1.0"),
+        _expect_fail("faults schema rejects a wrong success_rate",
+                     lambda: validate_faults(bad_success, "mem"),
+                     "success_rate"),
+    ]
+    if not all(checks):
+        print("check_bench_json: self-test FAILED", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench_json: self-test OK ({len(checks)} checks)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("artifact", help="BENCH_engine.json to validate")
+    ap.add_argument("artifact", nargs="?",
+                    help="bench JSON artifact to validate")
     ap.add_argument("--baseline",
-                    help="committed artifact to compare batch throughput "
-                         "against")
+                    help="committed engine artifact to compare batch "
+                         "throughput against")
     ap.add_argument("--max-regression", type=float, default=0.20,
                     help="max fractional drop in batch trials/sec vs the "
                          "baseline (default 0.20)")
     ap.add_argument("--min-speedup", type=float, default=None,
                     help="require batch/coroutine speedup >= this on every "
                          "point")
+    ap.add_argument("--monotone-tolerance", type=float, default=0.05,
+                    help="allowed success_rate rise between adjacent jam "
+                         "rates (default 0.05)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the validator's own unit checks and exit")
     args = ap.parse_args()
+    if args.self_test:
+        self_test()
+        return
+    if not args.artifact:
+        print("an artifact path is required unless --self-test", file=sys.stderr)
+        sys.exit(2)
     if not 0.0 <= args.max_regression < 1.0:
         print("--max-regression must be in [0, 1)", file=sys.stderr)
         sys.exit(2)
+    if args.monotone_tolerance < 0.0:
+        print("--monotone-tolerance must be >= 0", file=sys.stderr)
+        sys.exit(2)
 
-    points = validate(load(args.artifact), args.artifact)
-    print(f"{args.artifact}: schema ok, {len(points)} grid points")
-
-    if args.min_speedup is not None:
-        for p in points:
-            sp = p["speedup_trials_per_sec"]
-            if sp < args.min_speedup:
-                fail(f"{p['protocol']} n={p['population']} "
-                     f"C={p['channels']}: speedup {sp:.2f} < "
-                     f"--min-speedup {args.min_speedup:.2f}")
-        print(f"all points have speedup >= {args.min_speedup:.2f}")
-
-    if args.baseline:
-        base_points = validate(load(args.baseline), args.baseline)
-        base = {point_key(p): p for p in base_points}
-        compared = 0
-        for p in points:
-            b = base.get(point_key(p))
-            if b is None:
-                continue
-            compared += 1
-            new_rate = p["engines"]["batch"]["trials_per_sec"]
-            old_rate = b["engines"]["batch"]["trials_per_sec"]
-            if old_rate <= 0:
-                continue
-            floor = old_rate * (1.0 - args.max_regression)
-            label = (f"{p['protocol']} n={p['population']} "
-                     f"active={p['num_active']} C={p['channels']}")
-            if new_rate < floor:
-                fail(f"{label}: batch trials/sec regressed "
-                     f"{new_rate:.1f} < {floor:.1f} "
-                     f"(baseline {old_rate:.1f}, allowed drop "
-                     f"{args.max_regression:.0%})")
-            print(f"{label}: {new_rate:.1f} vs baseline {old_rate:.1f} ok")
-        if compared == 0:
-            fail("no grid points in common with the baseline")
-        print(f"no regression > {args.max_regression:.0%} across "
-              f"{compared} points")
-    print("check_bench_json: OK")
+    try:
+        run_checks(args)
+    except ValidationFailure as e:
+        print(f"check_bench_json: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -3,6 +3,8 @@
 //   crmc run   [--algo general] [--active 100] [--population 1048576]
 //              [--channels 64] [--seed 1] [--cd strong|receiver|none]
 //              [--trace] [--run-to-completion]
+//              [--jam-rate P] [--erasure-rate P] [--flaky-cd P]
+//              [--crash-rate P] [--fault-seed S]
 //   crmc race  [--active 2] [--population N] [--channels C] [--trials 200]
 //   crmc sweep --vary channels --values 2,8,32,128,512
 //              [--algo general] [--active 4096] [--population N]
@@ -45,6 +47,8 @@ using namespace crmc;
       "common flags: --active N  --population N  --channels C  --seed S\n"
       "run flags:    --algo NAME  --cd strong|receiver|none  --trace\n"
       "              --run-to-completion\n"
+      "              --jam-rate P --erasure-rate P --flaky-cd P\n"
+      "              --crash-rate P --fault-seed S   (adversarial faults)\n"
       "sweep flags:  --algo NAME --vary channels|active --values a,b,c\n"
       "              --trials T --quantile Q\n"
       "race/sweep:   --no-batch forces the coroutine engine (the batch\n"
@@ -102,6 +106,12 @@ int CmdRun(const harness::Flags& flags) {
   config.record_trace = flags.GetBoolOr("trace", false);
   config.stop_when_solved = !flags.GetBoolOr("run-to-completion", false);
   config.max_rounds = flags.GetIntOr("max-rounds", 4'000'000);
+  config.faults.jam_rate = flags.GetDoubleOr("jam-rate", 0.0);
+  config.faults.erasure_rate = flags.GetDoubleOr("erasure-rate", 0.0);
+  config.faults.flaky_cd_rate = flags.GetDoubleOr("flaky-cd", 0.0);
+  config.faults.crash_rate = flags.GetDoubleOr("crash-rate", 0.0);
+  config.faults.fault_seed =
+      static_cast<std::uint64_t>(flags.GetIntOr("fault-seed", 0));
   RejectUnknownFlags(flags);
 
   const harness::AlgorithmInfo& info = harness::AlgorithmByName(algo);
@@ -120,12 +130,24 @@ int CmdRun(const harness::Flags& flags) {
   }
   if (r.solved) {
     std::cout << "solved in round " << r.solved_round + 1 << "\n";
+  } else if (r.assumption_violated) {
+    std::cout << "ABORTED after " << r.rounds_executed
+              << " rounds (fault broke a protocol assumption)\n";
   } else {
-    std::cout << "NOT solved within " << r.rounds_executed << " rounds\n";
+    std::cout << "NOT solved within " << r.rounds_executed << " rounds";
+    if (r.wedged) std::cout << " (wedged: " << r.stall_rounds
+                            << " trailing stall rounds)";
+    std::cout << "\n";
   }
   std::cout << "rounds executed: " << r.rounds_executed
             << ", transmissions: " << r.total_transmissions
             << " (max per node " << r.max_node_transmissions << ")\n";
+  if (config.faults.Any()) {
+    std::cout << "faults injected: " << r.faults_injected << " (jams "
+              << r.jams_injected << ", erasures " << r.erasures_injected
+              << ", cd flips " << r.cd_flips_injected << ", crashes "
+              << r.crashed_nodes << ")\n";
+  }
   for (const char* phase : {"reduce_done", "rename_done", "elect_done"}) {
     const std::int64_t mark = r.LastPhaseMark(phase);
     // Marks record the round index after the step = rounds consumed.
