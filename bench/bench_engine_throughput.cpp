@@ -10,10 +10,15 @@
 //   --json <path>    engine-vs-engine throughput grid: runs the coroutine
 //                    oracle (sim::Engine) and the columnar fast path
 //                    (sim::BatchEngine) over identical seeds across an
-//                    n x C grid and writes the machine-readable artifact
-//                    (schema crmc.bench_engine.v1) consumed by
+//                    n x C grid, times the simd kernels per backend, and
+//                    writes the machine-readable artifact (schema
+//                    crmc.bench_engine.v2) consumed by
 //                    tools/check_bench_json.py. `--quick` shrinks trial
-//                    counts for CI; `--trials-scale <f>` scales them.
+//                    counts for CI; `--trials-scale <f>` scales them;
+//                    `--rng xoshiro|philox` picks the draw generator for
+//                    both engines (default xoshiro, matching the v1
+//                    baseline generator so speedups isolate engine work;
+//                    philox is the counter-based reproducibility mode).
 //
 // The grid mode also cross-checks that both engines solved every trial in
 // the same round — the throughput comparison is only meaningful if the two
@@ -39,7 +44,10 @@
 #include "sim/batch_engine.h"
 #include "sim/engine.h"
 #include "sim/step_program.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 #include "support/assert.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -83,31 +91,38 @@ double Rate(std::int64_t count, double seconds) {
 
 constexpr std::uint64_t kSeedBase = 0xbe9c40;
 
-// Each timing loop is repeated and the best (smallest) wall time kept:
-// the regression gate in tools/check_bench_json.py only fires on slowdowns,
-// so downward noise from scheduler interference is what must be suppressed.
-constexpr int kTimingReps = 3;
+// Each point is timed kTimingReps times and the best (smallest) wall time
+// kept: the regression gate in tools/check_bench_json.py only fires on
+// slowdowns, so downward noise from scheduler interference is what must be
+// suppressed. The reps are NOT back-to-back — RunJsonGrid interleaves them
+// across whole passes over the grid, because scheduler/clock slow windows
+// on shared hosts last about as long as one grid pass: consecutive reps of
+// one point would all land in the same window, while reps a pass apart
+// sample independent ones.
+constexpr int kTimingReps = 5;
 
+// One timed pass of `trials` trials over `run_trial`.
 template <typename RunTrial>
-EngineStats TimeTrials(std::int32_t trials, std::int32_t num_active,
-                       RunTrial&& run_trial) {
-  EngineStats best;
-  for (int rep = 0; rep < kTimingReps; ++rep) {
-    EngineStats stats;
-    const auto start = std::chrono::steady_clock::now();
-    for (std::int32_t t = 0; t < trials; ++t) {
-      const sim::RunResult r =
-          run_trial(kSeedBase + static_cast<std::uint64_t>(t));
-      stats.rounds += r.rounds_executed;
-      stats.node_rounds += r.rounds_executed * num_active;
-      stats.outcome_checksum +=
-          r.rounds_executed * 131 + (r.solved ? r.solved_round : -1);
-    }
-    const auto end = std::chrono::steady_clock::now();
-    stats.seconds = std::chrono::duration<double>(end - start).count();
-    if (rep == 0 || stats.seconds < best.seconds) best = stats;
+EngineStats TimeOnePass(std::int32_t trials, std::int32_t num_active,
+                        RunTrial&& run_trial) {
+  EngineStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int32_t t = 0; t < trials; ++t) {
+    const sim::RunResult r =
+        run_trial(kSeedBase + static_cast<std::uint64_t>(t));
+    stats.rounds += r.rounds_executed;
+    stats.node_rounds += r.rounds_executed * num_active;
+    stats.outcome_checksum +=
+        r.rounds_executed * 131 + (r.solved ? r.solved_round : -1);
   }
-  return best;
+  const auto end = std::chrono::steady_clock::now();
+  stats.seconds = std::chrono::duration<double>(end - start).count();
+  return stats;
+}
+
+// Folds one pass into the best-so-far slot (first pass wins outright).
+void KeepBest(EngineStats& best, const EngineStats& pass, bool first) {
+  if (first || pass.seconds < best.seconds) best = pass;
 }
 
 void WriteEngineStats(harness::JsonWriter& w, const EngineStats& s,
@@ -120,12 +135,167 @@ void WriteEngineStats(harness::JsonWriter& w, const EngineStats& s,
   w.EndObject();
 }
 
+std::string CpuModelName() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t start = colon + 1;
+        while (start < line.size() &&
+               (line[start] == ' ' || line[start] == '\t')) {
+          ++start;
+        }
+        return line.substr(start);
+      }
+    }
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Per-kernel microbenchmarks: lanes/sec for each simd kernel under every
+// backend available on this binary+CPU. The workload is fixed (4096 lanes,
+// philox draws) so numbers are comparable across backends and across
+// machines of the same ISA.
+// ---------------------------------------------------------------------------
+
+struct KernelTiming {
+  const char* name;
+  simd::Backend backend;
+  std::int64_t lanes;
+  double items_per_sec;
+};
+
+constexpr std::size_t kKernelLanes = 4096;
+constexpr int kKernelReps = 3;
+
+template <typename Body>
+double TimeKernelRate(std::int64_t items_per_iter, int iters, Body&& body) {
+  double best_rate = 0.0;
+  for (int rep = 0; rep < kKernelReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) body();
+    const auto end = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(end - start).count();
+    best_rate = std::max(best_rate, Rate(items_per_iter * iters, secs));
+  }
+  return best_rate;
+}
+
+void RunKernelBenches(std::vector<KernelTiming>& out) {
+  const simd::Backend prior = simd::ActiveBackend();
+
+  std::vector<support::RandomSource> rng;
+  rng.reserve(kKernelLanes);
+  for (std::size_t i = 0; i < kKernelLanes; ++i) {
+    rng.push_back(support::RandomSource::ForStream(
+        0x5eed, static_cast<std::uint64_t>(i) + 1,
+        support::RngKind::kPhilox));
+  }
+  std::vector<std::int32_t> lanes_idx(kKernelLanes);
+  for (std::size_t i = 0; i < kKernelLanes; ++i) {
+    lanes_idx[i] = static_cast<std::int32_t>(i);
+  }
+  const support::BatchBernoulli coin(0.5);
+  const support::BatchUniformInt dist(1, 64);
+  std::vector<std::uint8_t> mask(kKernelLanes);
+  std::vector<std::int32_t> fill(kKernelLanes);
+
+  // Compaction input: ~half the lanes dropped in a scattered pattern. The
+  // work buffer is re-filled from a template each iteration (same memcpy
+  // for every backend, so relative numbers stay meaningful).
+  std::vector<sim::NodeId> ids_template(kKernelLanes);
+  std::vector<std::uint8_t> drop(kKernelLanes);
+  std::vector<sim::NodeId> ids(kKernelLanes);
+  for (std::size_t i = 0; i < kKernelLanes; ++i) {
+    ids_template[i] = static_cast<sim::NodeId>(i);
+    drop[i] = static_cast<std::uint8_t>(
+        (static_cast<std::uint32_t>(i) * 2654435761u >> 16) & 1u);
+  }
+
+  constexpr std::int32_t kChannels = 64;
+  std::vector<mac::ChannelId> channels(kKernelLanes);
+  for (std::size_t i = 0; i < kKernelLanes; ++i) {
+    channels[i] = static_cast<mac::ChannelId>(
+        1 + (static_cast<std::uint32_t>(i) * 2654435761u >> 8) % kChannels);
+  }
+  std::vector<std::uint16_t> counts(
+      static_cast<std::size_t>(kChannels) + 3, 0);
+  std::vector<std::int32_t> touched;
+  touched.reserve(kKernelLanes);
+  std::vector<std::uint8_t> lone(kKernelLanes);
+
+  const simd::Backend backends[] = {simd::Backend::kScalar,
+                                    simd::Backend::kSse42,
+                                    simd::Backend::kAvx2};
+  for (const simd::Backend b : backends) {
+    if (!simd::BackendAvailable(b)) continue;
+    CRMC_CHECK(simd::SetBackend(b));
+    const auto lanes = static_cast<std::int64_t>(kKernelLanes);
+
+    out.push_back({"coin_mask", b, lanes,
+                   TimeKernelRate(lanes, 1000, [&] {
+                     const std::int64_t tx =
+                         simd::CoinMask(coin, rng, lanes_idx, mask);
+                     benchmark::DoNotOptimize(tx);
+                   })});
+    out.push_back({"uniform_fill", b, lanes,
+                   TimeKernelRate(lanes, 1000, [&] {
+                     simd::UniformFill(dist, rng, lanes_idx, fill);
+                     benchmark::DoNotOptimize(fill.data());
+                   })});
+    out.push_back({"compact_keep", b, lanes,
+                   TimeKernelRate(lanes, 2000, [&] {
+                     std::copy(ids_template.begin(), ids_template.end(),
+                               ids.begin());
+                     const std::size_t w = simd::CompactKeep(ids, drop);
+                     benchmark::DoNotOptimize(w);
+                   })});
+    out.push_back({"classify_channels", b, lanes,
+                   TimeKernelRate(lanes, 1000, [&] {
+                     const simd::Occupancy occ = simd::ClassifyChannels(
+                         channels, mac::kPrimaryChannel, counts, touched,
+                         lone);
+                     benchmark::DoNotOptimize(occ.lone_channels);
+                   })});
+  }
+
+  // SeedStreams shares the scalar expansion on every backend (see
+  // kernels.cpp), so it is timed once per kind rather than per backend.
+  // Xoshiro seeding is the engine-setup path the grid runs; philox shares
+  // the SplitMix64 premix but skips the state fill.
+  {
+    const auto lanes = static_cast<std::int64_t>(kKernelLanes);
+    std::vector<support::RandomSource> seeded(kKernelLanes);
+    out.push_back({"seed_streams_xoshiro", simd::Backend::kScalar, lanes,
+                   TimeKernelRate(lanes, 1000, [&] {
+                     simd::SeedStreams(0x5eed, 1, support::RngKind::kXoshiro,
+                                       seeded);
+                     benchmark::DoNotOptimize(seeded.data());
+                   })});
+    out.push_back({"seed_streams_philox", simd::Backend::kScalar, lanes,
+                   TimeKernelRate(lanes, 1000, [&] {
+                     simd::SeedStreams(0x5eed, 1, support::RngKind::kPhilox,
+                                       seeded);
+                     benchmark::DoNotOptimize(seeded.data());
+                   })});
+  }
+  CRMC_CHECK(simd::SetBackend(prior));
+}
+
 int RunJsonGrid(const harness::Flags& flags) {
   const std::string path = *flags.GetString("json");
   CRMC_REQUIRE_MSG(!path.empty(), "--json requires a file path");
   const bool quick = flags.GetBoolOr("quick", false);
   double scale = flags.GetDoubleOr("trials-scale", quick ? 0.25 : 1.0);
   CRMC_REQUIRE_MSG(scale > 0.0, "--trials-scale must be positive");
+  const std::string rng_name = flags.GetStringOr("rng", "xoshiro");
+  const std::optional<support::RngKind> rng_kind =
+      support::ParseRngKind(rng_name);
+  CRMC_REQUIRE_MSG(rng_kind.has_value(),
+                   "--rng must be xoshiro or philox, got " << rng_name);
   const auto unconsumed = flags.UnconsumedFlags();
   if (!unconsumed.empty()) {
     std::cerr << "unknown flag: --" << unconsumed.front() << "\n";
@@ -139,45 +309,87 @@ int RunJsonGrid(const harness::Flags& flags) {
   CRMC_REQUIRE_MSG(out.good(), "cannot open --json path " << path);
   harness::JsonWriter w(out);
   w.BeginObject();
-  w.Key("schema").Value("crmc.bench_engine.v1");
+  w.Key("schema").Value("crmc.bench_engine.v2");
   w.Key("mode").Value(quick ? "quick" : "full");
+  w.Key("metadata").BeginObject();
+  w.Key("cpu").Value(CpuModelName());
+  w.Key("compiler").Value(__VERSION__);
+  w.Key("dispatch").Value(simd::ToString(simd::ActiveBackend()));
+  w.Key("rng").Value(support::ToString(*rng_kind));
+  w.EndObject();
   w.Key("points").BeginArray();
 
+  // Per-point state persists across the interleaved timing passes below;
+  // the engine + program reuse matches how harness::RunTrials sweeps.
+  struct PointRun {
+    const GridPoint* p = nullptr;
+    std::int32_t trials = 0;
+    sim::ProtocolFactory factory;
+    std::unique_ptr<sim::StepProgram> program;
+    sim::EngineConfig config;
+    sim::BatchEngine engine;
+    EngineStats coro;
+    EngineStats batch;
+  };
+  std::vector<std::unique_ptr<PointRun>> points;
   for (const GridPoint& p : kGrid) {
-    const std::int32_t trials = std::max(
+    auto pr = std::make_unique<PointRun>();
+    pr->p = &p;
+    pr->trials = std::max(
         std::int32_t{10},
         static_cast<std::int32_t>(static_cast<double>(p.trials) * scale));
     const harness::AlgorithmInfo& info = harness::AlgorithmByName(p.protocol);
     CRMC_REQUIRE_MSG(info.make_step != nullptr,
                      p.protocol << " has no columnar twin");
-    const sim::ProtocolFactory factory = info.make();
-    const std::unique_ptr<sim::StepProgram> program = info.make_step()();
+    pr->factory = info.make();
+    pr->program = info.make_step()();
+    pr->config.population = p.population;
+    pr->config.num_active = p.num_active;
+    pr->config.channels = p.channels;
+    pr->config.rng = *rng_kind;
+    points.push_back(std::move(pr));
+  }
 
-    sim::EngineConfig config;
-    config.population = p.population;
-    config.num_active = p.num_active;
-    config.channels = p.channels;
-
-    // Warm-up: one trial per engine so first-touch page faults and scratch
-    // growth are excluded from the timed section.
-    sim::BatchEngine batch_engine;
-    {
-      sim::EngineConfig warm = config;
-      warm.seed = kSeedBase;
-      (void)sim::Engine::Run(warm, factory);
-      (void)batch_engine.Run(warm, *program);
+  // kTimingReps passes over the whole grid; each pass times every point
+  // once on each engine and the per-point best is kept (see the comment at
+  // kTimingReps for why the reps are spread across passes). Pass 0 is
+  // preceded by one untimed warm-up batch per point and engine: the first
+  // pass otherwise runs on cold caches, an untrained branch predictor, and
+  // (on power-managed hosts) a lower clock, which used to bias it low by
+  // up to 2x.
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    for (const std::unique_ptr<PointRun>& pr : points) {
+      auto run_coro = [&](std::uint64_t seed) {
+        pr->config.seed = seed;
+        return sim::Engine::Run(pr->config, pr->factory);
+      };
+      auto run_batch = [&](std::uint64_t seed) {
+        pr->config.seed = seed;
+        return pr->engine.Run(pr->config, *pr->program);
+      };
+      if (rep == 0) {
+        for (std::int32_t t = 0; t < pr->trials; ++t) {
+          (void)run_coro(kSeedBase + static_cast<std::uint64_t>(t));
+        }
+      }
+      KeepBest(pr->coro,
+               TimeOnePass(pr->trials, pr->p->num_active, run_coro), rep == 0);
+      if (rep == 0) {
+        for (std::int32_t t = 0; t < pr->trials; ++t) {
+          (void)run_batch(kSeedBase + static_cast<std::uint64_t>(t));
+        }
+      }
+      KeepBest(pr->batch,
+               TimeOnePass(pr->trials, pr->p->num_active, run_batch),
+               rep == 0);
     }
+  }
 
-    const EngineStats coro =
-        TimeTrials(trials, p.num_active, [&](std::uint64_t seed) {
-          config.seed = seed;
-          return sim::Engine::Run(config, factory);
-        });
-    const EngineStats batch =
-        TimeTrials(trials, p.num_active, [&](std::uint64_t seed) {
-          config.seed = seed;
-          return batch_engine.Run(config, *program);
-        });
+  for (const std::unique_ptr<PointRun>& point : points) {
+    const GridPoint& p = *point->p;
+    const std::int32_t trials = point->trials;
+    const EngineStats& coro = point->coro;
+    const EngineStats& batch = point->batch;
     CRMC_CHECK_MSG(coro.outcome_checksum == batch.outcome_checksum,
                    "engine divergence at " << p.protocol << " n="
                                            << p.population);
@@ -209,12 +421,29 @@ int RunJsonGrid(const harness::Flags& flags) {
   }
 
   w.EndArray();
+
+  std::vector<KernelTiming> kernels;
+  RunKernelBenches(kernels);
+  harness::Table ktable({"kernel", "backend", "lanes", "Mitems/s"});
+  w.Key("kernels").BeginArray();
+  for (const KernelTiming& k : kernels) {
+    ktable.Row().Cells(k.name, simd::ToString(k.backend), k.lanes,
+                       harness::FormatDouble(k.items_per_sec / 1e6, 1));
+    w.BeginObject();
+    w.Key("name").Value(k.name);
+    w.Key("backend").Value(simd::ToString(k.backend));
+    w.Key("lanes").Value(k.lanes);
+    w.Key("items_per_sec").Value(k.items_per_sec);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   w.Finish();
   CRMC_REQUIRE_MSG(out.good(), "write failed for " << path);
   out.close();
 
   table.Print(std::cout);
+  ktable.Print(std::cout);
   std::cout << "wrote " << path << "\n";
   return 0;
 }

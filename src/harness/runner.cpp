@@ -41,6 +41,7 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
       config.max_rounds = spec.max_rounds;
       config.stop_when_solved = spec.stop_when_solved;
       config.record_active_counts = spec.record_active_counts;
+      config.rng = spec.rng;
       config.faults = spec.faults;
       runs[static_cast<std::size_t>(t)] =
           batch ? batch_engine.Run(config, *program)

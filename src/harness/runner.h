@@ -28,6 +28,11 @@ struct TrialSpec {
   // Opt-out for the BatchEngine fast path: when false, trials always run
   // on the coroutine engine even if the protocol ships a step program.
   bool use_batch_engine = true;
+  // Core generator for every trial's draw streams. Either kind keeps the
+  // batch/coroutine engines bit-identical; philox draws are counter-based
+  // (lane-reproducible and SIMD-vectorizable), xoshiro keeps the
+  // historical sequential bit streams.
+  support::RngKind rng = support::RngKind::kXoshiro;
   // Adversarial fault injection, forwarded to every trial's EngineConfig.
   mac::FaultSpec faults;
 };

@@ -38,17 +38,18 @@ FaultInjector::FaultInjector(const FaultSpec& spec, std::uint64_t run_seed)
       erasure_(spec.erasure_rate),
       flip_(spec.flaky_cd_rate),
       crash_(spec.crash_rate),
-      channel_rng_(support::RandomSource::ForStream(FaultMasterSeed(spec,
-                                                                    run_seed),
-                                                    0xC4A77ELL)),
-      observer_rng_(support::RandomSource::ForStream(
-          FaultMasterSeed(spec, run_seed), 0x0B5E12ULL)),
-      crash_rng_(support::RandomSource::ForStream(FaultMasterSeed(spec,
-                                                                  run_seed),
-                                                  0xC1A54ULL)),
       active_(spec.Any()),
       has_crashes_(spec.crash_rate > 0.0) {
   spec.Validate();
+  // Pristine runs never draw from the fault streams, so leave them as
+  // unseeded placeholders: engines construct one injector per trial, and
+  // seeding three streams nobody reads dominated small-trial setup. Active
+  // runs derive exactly the streams the seeded constructor always has.
+  if (!active_) return;
+  const std::uint64_t master = FaultMasterSeed(spec, run_seed);
+  channel_rng_ = support::RandomSource::ForStream(master, 0xC4A77ELL);
+  observer_rng_ = support::RandomSource::ForStream(master, 0x0B5E12ULL);
+  crash_rng_ = support::RandomSource::ForStream(master, 0xC1A54ULL);
 }
 
 }  // namespace crmc::mac

@@ -49,6 +49,41 @@ RoundSummary Resolver::Resolve(std::span<const Action> actions,
   summary.primary_transmitters =
       activity_[static_cast<std::size_t>(kPrimaryChannel)].transmitters;
 
+  // Pristine strong-CD rounds — the Monte-Carlo hot path — skip the fault
+  // bookkeeping and the per-action fault/capability branches entirely. The
+  // general loop below computes the identical feedback for this case; this
+  // variant just hoists the conditions out of the per-action loop.
+  if (!inject && cd_model_ == CdModel::kStrong) {
+    for (const ChannelId ch : touched_channels_) {
+      if (activity_[static_cast<std::size_t>(ch)].transmitters == 1) {
+        ++summary.lone_deliveries;
+      }
+    }
+    summary.primary_lone_delivered = summary.primary_transmitters == 1;
+    feedback.resize(actions.size());
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const Action& a = actions[i];
+      Feedback& fb = feedback[i];
+      if (a.channel == kIdleChannel) {
+        fb = Feedback{};
+        continue;
+      }
+      const ChannelActivity& act =
+          activity_[static_cast<std::size_t>(a.channel)];
+      if (act.transmitters == 0) {
+        fb.observation = Observation::kSilence;
+        fb.message = Message{};
+      } else if (act.transmitters == 1) {
+        fb.observation = Observation::kMessage;
+        fb.message = act.lone_message;
+      } else {
+        fb.observation = Observation::kCollision;
+        fb.message = Message{};
+      }
+    }
+    return summary;
+  }
+
   // Channel-level faults: one jam draw per touched channel, then — for
   // surviving lone-transmitter channels — one erasure draw. First-touched
   // order keeps the draw sequence a function of the action sequence alone.

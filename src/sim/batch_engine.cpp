@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simd/kernels.h"
 #include "support/assert.h"
 
 namespace crmc::sim {
@@ -14,15 +15,11 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
   // Same ID and per-node stream derivation as Engine::Run, so a program
   // that consumes ctx.rng[s] sees the bit stream node s's coroutine would.
   support::RandomSource id_rng =
-      support::RandomSource::ForStream(config.seed, 0x1d5eed);
-  unique_ids_ =
-      support::SampleWithoutReplacement(population, config.num_active, id_rng);
-  rng_.clear();
-  rng_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    rng_.push_back(support::RandomSource::ForStream(
-        config.seed, static_cast<std::uint64_t>(i) + 1));
-  }
+      support::RandomSource::ForStream(config.seed, 0x1d5eed, config.rng);
+  support::SampleWithoutReplacement(population, config.num_active, id_rng,
+                                    sample_scratch_, unique_ids_);
+  rng_.resize(n);
+  simd::SeedStreams(config.seed, 1, config.rng, rng_);
 
   BatchContext ctx;
   ctx.population = population;
@@ -48,6 +45,15 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
   std::int64_t round = 0;
   std::int64_t stall_streak = 0;
   bool aborted = false;
+  // Fused-round gate: FastRound assumes feedback is a pure function of the
+  // emitted actions (strong CD, no faults) and produces no trace. The
+  // conditions are per-run constants, so the whole run takes one path —
+  // except a program may decline a specific round (e.g. the general
+  // algorithm's LeafElection stage), which falls through to the generic
+  // materialized round below.
+  const bool fast_rounds = fused_rounds_enabled_ && !injector.active() &&
+                           config.cd_model == mac::CdModel::kStrong &&
+                           !config.record_trace;
   while (!alive_.empty() && round < config.max_rounds) {
     // Crash-stop sweep, bit-exact with Engine::Run: one draw per alive node
     // in ascending node order at the start of the round.
@@ -64,6 +70,30 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
       result.active_counts.push_back(static_cast<std::int64_t>(m));
     }
     ctx.round = round;
+
+    if (fast_rounds) {
+      finished_.assign(m, 0);
+      FastRoundEffects fx;
+      if (program.FastRound(ctx, alive_, node_tx_, finished_, &fx)) {
+        result.total_transmissions += fx.transmissions;
+        if (fx.primary_lone_delivered) {
+          if (!result.solved) {
+            result.solved = true;
+            result.solved_round = round;
+          }
+          result.all_solved_rounds.push_back(round);
+        }
+        ++round;
+        // Same order as the generic path: the solving round ends the run
+        // before the alive set is compacted.
+        if (result.solved && config.stop_when_solved) break;
+        const std::size_t write = simd::CompactKeep(alive_, finished_);
+        alive_.resize(write);
+        const bool progress = fx.lone_deliveries > 0 || write < m;
+        stall_streak = progress ? 0 : stall_streak + 1;
+        continue;
+      }
+    }
 
     actions_.resize(m);
     program.EmitActions(ctx, alive_, actions_);
@@ -111,10 +141,7 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
       aborted = true;
       break;
     }
-    std::size_t write = 0;
-    for (std::size_t k = 0; k < m; ++k) {
-      if (!finished_[k]) alive_[write++] = alive_[k];
-    }
+    const std::size_t write = simd::CompactKeep(alive_, finished_);
     alive_.resize(write);
     // Livelock watchdog, identical to Engine::Run: progress means a lone
     // message got through somewhere or a node terminated.

@@ -45,6 +45,13 @@ class BatchEngine {
     return engine.Run(config, program);
   }
 
+  // Fused rounds (StepProgram::FastRound) skip the Action/Feedback arrays
+  // and the resolver on pristine strong-CD untraced rounds. On by default;
+  // off forces the generic materialized path on every round — the results
+  // are bit-identical either way (the parity suite runs both), this exists
+  // for that suite and for debugging.
+  void set_fused_rounds(bool enabled) { fused_rounds_enabled_ = enabled; }
+
  private:
   std::optional<mac::Resolver> resolver_;
   std::vector<support::RandomSource> rng_;
@@ -54,6 +61,8 @@ class BatchEngine {
   std::vector<mac::Feedback> feedback_;
   std::vector<std::uint8_t> finished_;
   std::vector<std::int64_t> node_tx_;
+  support::SampleScratch sample_scratch_;
+  bool fused_rounds_enabled_ = true;
 };
 
 }  // namespace crmc::sim

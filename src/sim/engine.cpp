@@ -88,7 +88,7 @@ RunResult Engine::Run(const EngineConfig& config,
 
   // Unique IDs for baselines that assume them (sampled from [1, n]).
   support::RandomSource id_rng =
-      support::RandomSource::ForStream(config.seed, 0x1d5eed);
+      support::RandomSource::ForStream(config.seed, 0x1d5eed, config.rng);
   const std::vector<std::int64_t> unique_ids = support::SampleWithoutReplacement(
       population, config.num_active, id_rng);
 
@@ -99,8 +99,8 @@ RunResult Engine::Run(const EngineConfig& config,
     contexts.emplace_back(
         i, population, config.num_active, config.channels,
         unique_ids[static_cast<std::size_t>(i)],
-        support::RandomSource::ForStream(config.seed,
-                                         static_cast<std::uint64_t>(i) + 1));
+        support::RandomSource::ForStream(
+            config.seed, static_cast<std::uint64_t>(i) + 1, config.rng));
   }
   for (NodeId i = 0; i < config.num_active; ++i) {
     tasks.push_back(protocol(contexts[static_cast<std::size_t>(i)]));

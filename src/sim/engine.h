@@ -24,6 +24,7 @@
 #include "sim/node_context.h"
 #include "sim/task.h"
 #include "sim/trace.h"
+#include "support/rng.h"
 
 namespace crmc::sim {
 
@@ -58,6 +59,12 @@ struct EngineConfig {
   // Adversarial fault injection (mac/faults.h). All rates default to zero,
   // in which case the run is bit-identical to one without a fault layer.
   mac::FaultSpec faults;
+  // Core generator for the per-node (and ID-sampling) streams. kXoshiro
+  // keeps the historical bit streams; kPhilox is counter-based and lets the
+  // batch engine's SIMD kernels (src/simd/) vectorize the draws. Either
+  // kind, both engines stay bit-exact against each other — the parity
+  // suite runs in both modes. Fault-injection streams are unaffected.
+  support::RngKind rng = support::RngKind::kXoshiro;
 };
 
 // Validates `config` (distinct std::invalid_argument message per violated

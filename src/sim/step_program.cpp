@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/channel_budget.h"
+#include "simd/kernels.h"
 #include "support/assert.h"
 #include "support/bits.h"
 #include "tree/channel_tree.h"
@@ -19,6 +20,54 @@ using mac::kPrimaryChannel;
 using support::BatchBernoulli;
 using support::BatchUniformInt;
 using tree::ChannelTree;
+
+// ---------------------------------------------------------------------------
+// Fused-round helpers. FastRound implementations below execute a whole
+// pristine strong-CD round — draws, resolution, transitions — without
+// materializing Action/Feedback arrays; the SIMD kernels (src/simd/) do the
+// per-lane loops. Draw order per lane is identical to EmitActions, so the
+// fused and generic paths are bit-exact (the engine parity suite runs both).
+
+// One all-on-primary coin round: mask[k] = coin.Draw(rng[alive[k]]),
+// transmitters charged to node_tx, channel effects recorded. Returns the
+// number of transmitters.
+std::int64_t PrimaryCoinRound(const BatchBernoulli& coin,
+                              const BatchContext& ctx,
+                              std::span<const NodeId> alive,
+                              std::span<std::int64_t> node_tx,
+                              std::vector<std::uint8_t>& mask,
+                              FastRoundEffects* fx) {
+  mask.resize(alive.size());
+  const std::int64_t tx = simd::CoinMask(coin, ctx.rng, alive, mask);
+  for (std::size_t k = 0; k < alive.size(); ++k) {
+    node_tx[static_cast<std::size_t>(alive[k])] += mask[k];
+  }
+  fx->transmissions += tx;
+  if (tx == 1) {
+    fx->lone_deliveries += 1;
+    fx->primary_lone_delivered = true;
+  }
+  return tx;
+}
+
+// Strong-CD knockout finish rule (CD knockout, Reduce rounds, IDReduction
+// knock round): one transmitter ends everyone (the lone leader plus every
+// listener that heard it), two or more end the listeners only, zero end no
+// one. Returns true when every alive node finished — callers can skip their
+// survivor transitions.
+bool KnockoutFinish(std::int64_t tx, std::span<const std::uint8_t> mask,
+                    std::span<std::uint8_t> finished) {
+  if (tx == 1) {
+    std::fill(finished.begin(), finished.end(), std::uint8_t{1});
+    return true;
+  }
+  if (tx >= 2) {
+    for (std::size_t k = 0; k < mask.size(); ++k) {
+      finished[k] = static_cast<std::uint8_t>(!mask[k]);
+    }
+  }
+  return false;
+}
 
 // ---------------------------------------------------------------------------
 // TwoActive (core/two_active.cpp flattened). Phase tags mirror the
@@ -132,6 +181,95 @@ class TwoActiveProgram final : public StepProgram {
     }
   }
 
+  // The two-active run is fully lockstep: in duel mode every round is a
+  // primary-channel coin round; otherwise the two nodes share lo/hi bounds
+  // and move through kRename -> kSearch together (they either both rename
+  // or both stay; every search round updates both bounds identically), and
+  // the run ends on a {kFinalTx, kFinalListen} pair. Anything else — more
+  // or fewer than two nodes outside duel mode, or a same-final-phase pair,
+  // which the generic path rejects with a CRMC_PROTO_CHECK — declines.
+  bool FastRound(const BatchContext& ctx, std::span<const NodeId> alive,
+                 std::span<std::int64_t> node_tx,
+                 std::span<std::uint8_t> finished,
+                 FastRoundEffects* fx) override {
+    if (duel_) {
+      const std::int64_t tx =
+          PrimaryCoinRound(coin_, ctx, alive, node_tx, mask_, fx);
+      if (tx == 1) {  // everyone heard the lone duel winner
+        std::fill(finished.begin(), finished.end(), std::uint8_t{1});
+      }
+      return true;
+    }
+    if (alive.size() != 2) return false;
+    const auto s0 = static_cast<std::size_t>(alive[0]);
+    const auto s1 = static_cast<std::size_t>(alive[1]);
+    if (phase_[s0] != phase_[s1]) {
+      const bool final_pair =
+          (phase_[s0] == kFinalTx && phase_[s1] == kFinalListen) ||
+          (phase_[s0] == kFinalListen && phase_[s1] == kFinalTx);
+      if (!final_pair) return false;
+      ++node_tx[phase_[s0] == kFinalTx ? s0 : s1];
+      fx->transmissions += 1;
+      fx->lone_deliveries += 1;
+      fx->primary_lone_delivered = true;
+      finished[0] = 1;
+      finished[1] = 1;
+      return true;
+    }
+    switch (phase_[s0]) {
+      case kRename: {
+        const auto id0 =
+            static_cast<std::int32_t>(rename_draw_->Draw(ctx.rng[s0]));
+        const auto id1 =
+            static_cast<std::int32_t>(rename_draw_->Draw(ctx.rng[s1]));
+        id_[s0] = id0;
+        id_[s1] = id1;
+        ++node_tx[s0];
+        ++node_tx[s1];
+        fx->transmissions += 2;
+        if (id0 != id1) {  // both alone: renamed, and maybe solved outright
+          fx->lone_deliveries += 2;
+          fx->primary_lone_delivered =
+              id0 == kPrimaryChannel || id1 == kPrimaryChannel;
+          for (const std::size_t s : {s0, s1}) {
+            phase_[s] = kSearch;
+            lo_[s] = 0;
+            hi_[s] = tree_->height();
+          }
+        }
+        return true;
+      }
+      case kSearch: {
+        const std::int32_t mid = (lo_[s0] + hi_[s0]) / 2;
+        const std::int32_t ch0 = tree_->IndexWithinLevel(id_[s0], mid);
+        const std::int32_t ch1 = tree_->IndexWithinLevel(id_[s1], mid);
+        ++node_tx[s0];
+        ++node_tx[s1];
+        fx->transmissions += 2;
+        if (ch0 == ch1) {  // still shared at `mid`: divergence is deeper
+          lo_[s0] = lo_[s1] = mid + 1;
+        } else {
+          fx->lone_deliveries += 2;
+          fx->primary_lone_delivered =
+              ch0 == kPrimaryChannel || ch1 == kPrimaryChannel;
+          hi_[s0] = hi_[s1] = mid;
+        }
+        if (lo_[s0] >= hi_[s0]) {
+          const std::int32_t split = lo_[s0];
+          CRMC_PROTO_CHECK_MSG(split >= 1, "paths cannot diverge at the root");
+          for (const std::size_t s : {s0, s1}) {
+            phase_[s] = tree_->AncestorIsLeftChild(id_[s], split)
+                            ? kFinalTx
+                            : kFinalListen;
+          }
+        }
+        return true;
+      }
+      default:
+        return false;  // same-phase final pair: let the generic check fire
+    }
+  }
+
  private:
   enum Phase : std::uint8_t { kDuel, kRename, kSearch, kFinalTx, kFinalListen };
 
@@ -146,6 +284,7 @@ class TwoActiveProgram final : public StepProgram {
   std::vector<std::int32_t> id_;  // renamed channel label / duel unused
   std::vector<std::int32_t> lo_;
   std::vector<std::int32_t> hi_;
+  std::vector<std::uint8_t> mask_;  // FastRound coin-mask scratch
 };
 
 // ---------------------------------------------------------------------------
@@ -219,10 +358,32 @@ class ReduceProgram final : public StepProgram {
     }
   }
 
+  // Every alive node is at the same schedule step (survivors advance one
+  // step per round in lockstep), so one coin round covers them all.
+  bool FastRound(const BatchContext& ctx, std::span<const NodeId> alive,
+                 std::span<std::int64_t> node_tx,
+                 std::span<std::uint8_t> finished,
+                 FastRoundEffects* fx) override {
+    const auto step =
+        static_cast<std::size_t>(step_[static_cast<std::size_t>(alive[0])]);
+    const std::int64_t tx =
+        PrimaryCoinRound(sched_[step], ctx, alive, node_tx, mask_, fx);
+    if (KnockoutFinish(tx, mask_, finished)) return true;
+    const auto next = static_cast<std::int32_t>(step + 1);
+    if (static_cast<std::size_t>(next) == sched_.size()) {
+      std::fill(finished.begin(), finished.end(), std::uint8_t{1});
+    }
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      step_[static_cast<std::size_t>(alive[k])] = next;
+    }
+    return true;
+  }
+
  private:
   core::ReduceParams params_;
   std::vector<BatchBernoulli> sched_;
   std::vector<std::int32_t> step_;  // index into sched_
+  std::vector<std::uint8_t> mask_;  // FastRound coin-mask scratch
 };
 
 // ---------------------------------------------------------------------------
@@ -252,6 +413,9 @@ class IdReductionProgram final : public StepProgram {
     chan_.assign(n, 0);
     renamed_.assign(n, 0);
     pairs_.assign(n, 0);
+    // ClassifyChannels scratch: spread channels lie in [1, eff/2], the +3
+    // covers the gather padding; must start (and is kept) all-zero.
+    counts_.assign(static_cast<std::size_t>(eff / 2) + 3, 0);
   }
 
   void EmitActions(const BatchContext& ctx, std::span<const NodeId> alive,
@@ -319,6 +483,74 @@ class IdReductionProgram final : public StepProgram {
     }
   }
 
+  // Alive nodes move through the spread/confirm/knock cycle in lockstep
+  // (every transition in Advance applies to all survivors of a round), so
+  // the first lane's cycle position is everyone's. pairs_ is uniform for
+  // the same reason, so the max_pairs check needs only one lane.
+  bool FastRound(const BatchContext& ctx, std::span<const NodeId> alive,
+                 std::span<std::int64_t> node_tx,
+                 std::span<std::uint8_t> finished,
+                 FastRoundEffects* fx) override {
+    const std::size_t m = alive.size();
+    const auto s0 = static_cast<std::size_t>(alive[0]);
+    switch (cycle_[s0]) {
+      case 0: {  // spread over [C'/2]: everyone transmits on its pick
+        CRMC_CHECK_MSG(pairs_[s0] < params_.max_pairs,
+                       "IDReduction exceeded max_pairs — probability of "
+                       "this is superpolynomially small; check parameters");
+        chan_scratch_.resize(m);
+        simd::UniformFill(*spread_, ctx.rng, alive, chan_scratch_);
+        lone_scratch_.resize(m);
+        const simd::Occupancy occ = simd::ClassifyChannels(
+            chan_scratch_, kPrimaryChannel, counts_, touched_, lone_scratch_);
+        for (std::size_t k = 0; k < m; ++k) {
+          const auto s = static_cast<std::size_t>(alive[k]);
+          ++node_tx[s];
+          chan_[s] = chan_scratch_[k];
+          renamed_[s] = lone_scratch_[k];
+          cycle_[s] = 1;
+        }
+        fx->transmissions += static_cast<std::int64_t>(m);
+        fx->lone_deliveries += occ.lone_channels;
+        fx->primary_lone_delivered = occ.primary_lone;
+        return true;
+      }
+      case 1: {  // confirm: renamed nodes transmit on the primary channel
+        std::int64_t r = 0;
+        for (std::size_t k = 0; k < m; ++k) {
+          const auto s = static_cast<std::size_t>(alive[k]);
+          r += renamed_[s];
+          node_tx[s] += renamed_[s];
+        }
+        fx->transmissions += r;
+        if (r == 1) {
+          fx->lone_deliveries += 1;
+          fx->primary_lone_delivered = true;
+        }
+        if (r >= 1) {
+          // Renamed nodes finish as kActive; everyone else heard them.
+          std::fill(finished.begin(), finished.end(), std::uint8_t{1});
+        } else {
+          for (std::size_t k = 0; k < m; ++k) {
+            cycle_[static_cast<std::size_t>(alive[k])] = 2;
+          }
+        }
+        return true;
+      }
+      default: {  // knockout with probability 1/k
+        const std::int64_t tx =
+            PrimaryCoinRound(*knock_, ctx, alive, node_tx, mask_, fx);
+        if (KnockoutFinish(tx, mask_, finished)) return true;
+        for (std::size_t k = 0; k < m; ++k) {
+          const auto s = static_cast<std::size_t>(alive[k]);
+          cycle_[s] = 0;
+          ++pairs_[s];
+        }
+        return true;
+      }
+    }
+  }
+
  private:
   core::IdReductionParams params_;
   std::optional<BatchUniformInt> spread_;
@@ -327,6 +559,13 @@ class IdReductionProgram final : public StepProgram {
   std::vector<std::int32_t> chan_;   // channel picked in the spread round
   std::vector<std::uint8_t> renamed_;
   std::vector<std::int64_t> pairs_;
+  // FastRound scratch: coin mask, channel picks, per-lane lone flags, and
+  // the ClassifyChannels histogram (all-zero between rounds) + dirty list.
+  std::vector<std::uint8_t> mask_;
+  std::vector<std::int32_t> chan_scratch_;
+  std::vector<std::uint8_t> lone_scratch_;
+  std::vector<std::uint16_t> counts_;
+  std::vector<std::int32_t> touched_;
 };
 
 // ---------------------------------------------------------------------------
@@ -602,8 +841,19 @@ class KnockoutCdProgram final : public StepProgram {
     (void)alive;
   }
 
+  bool FastRound(const BatchContext& ctx, std::span<const NodeId> alive,
+                 std::span<std::int64_t> node_tx,
+                 std::span<std::uint8_t> finished,
+                 FastRoundEffects* fx) override {
+    const std::int64_t tx =
+        PrimaryCoinRound(coin_, ctx, alive, node_tx, mask_, fx);
+    KnockoutFinish(tx, mask_, finished);
+    return true;
+  }
+
  private:
   BatchBernoulli coin_{0.5};
+  std::vector<std::uint8_t> mask_;  // FastRound coin-mask scratch
 };
 
 // ---------------------------------------------------------------------------
@@ -640,6 +890,9 @@ class GeneralProgram final : public StepProgram {
                           params_.id_reduction.knock_divisor);
     knock_.emplace(1.0 / knock_k);
     leaf_.Init(eff_ / 2, params_.leaf_election.force_binary_search, n);
+    // ClassifyChannels scratch: spread channels lie in [1, eff/2], the +3
+    // covers the gather padding; must start (and is kept) all-zero.
+    counts_.assign(static_cast<std::size_t>(eff_ / 2) + 3, 0);
   }
 
   void EmitActions(const BatchContext& ctx, std::span<const NodeId> alive,
@@ -760,6 +1013,117 @@ class GeneralProgram final : public StepProgram {
     }
   }
 
+  // Stages stay uniform across the alive set right up to LeafElection:
+  // every node starts in kReduce (or kFallback for the whole run), Reduce
+  // survivors all enter kIdr in the same round, and a confirm round either
+  // moves every renamed node to kLeaf while finishing the rest, or keeps
+  // everyone in kIdr. The kLeaf stage itself declines — its per-cohort
+  // control flow has no batched win — and the engine falls back to the
+  // generic path for the remainder of the run's rounds.
+  bool FastRound(const BatchContext& ctx, std::span<const NodeId> alive,
+                 std::span<std::int64_t> node_tx,
+                 std::span<std::uint8_t> finished,
+                 FastRoundEffects* fx) override {
+    const std::size_t m = alive.size();
+    const auto s0 = static_cast<std::size_t>(alive[0]);
+    switch (stage_[s0]) {
+      case kFallback: {
+        const std::int64_t tx =
+            PrimaryCoinRound(coin_, ctx, alive, node_tx, mask_, fx);
+        KnockoutFinish(tx, mask_, finished);
+        return true;
+      }
+      case kReduce: {
+        const auto step = static_cast<std::size_t>(step_[s0]);
+        const std::int64_t tx = PrimaryCoinRound(reduce_sched_[step], ctx,
+                                                 alive, node_tx, mask_, fx);
+        if (KnockoutFinish(tx, mask_, finished)) return true;
+        const auto next = static_cast<std::int32_t>(step + 1);
+        if (static_cast<std::size_t>(next) == reduce_sched_.size()) {
+          for (std::size_t k = 0; k < m; ++k) {
+            const auto s = static_cast<std::size_t>(alive[k]);
+            stage_[s] = kIdr;  // survivor: IDReduction starts next round
+            step_[s] = 0;
+          }
+        } else {
+          for (std::size_t k = 0; k < m; ++k) {
+            step_[static_cast<std::size_t>(alive[k])] = next;
+          }
+        }
+        return true;
+      }
+      case kIdr:
+        switch (step_[s0]) {
+          case 0: {  // spread over [C'/2]
+            CRMC_CHECK_MSG(pairs_[s0] < params_.id_reduction.max_pairs,
+                           "IDReduction exceeded max_pairs — probability "
+                           "of this is superpolynomially small; check "
+                           "parameters");
+            chan_scratch_.resize(m);
+            simd::UniformFill(*spread_, ctx.rng, alive, chan_scratch_);
+            lone_scratch_.resize(m);
+            const simd::Occupancy occ =
+                simd::ClassifyChannels(chan_scratch_, kPrimaryChannel, counts_,
+                                       touched_, lone_scratch_);
+            for (std::size_t k = 0; k < m; ++k) {
+              const auto s = static_cast<std::size_t>(alive[k]);
+              ++node_tx[s];
+              chan_[s] = chan_scratch_[k];
+              renamed_[s] = lone_scratch_[k];
+              step_[s] = 1;
+            }
+            fx->transmissions += static_cast<std::int64_t>(m);
+            fx->lone_deliveries += occ.lone_channels;
+            fx->primary_lone_delivered = occ.primary_lone;
+            return true;
+          }
+          case 1: {  // confirm on the primary channel
+            std::int64_t r = 0;
+            for (std::size_t k = 0; k < m; ++k) {
+              const auto s = static_cast<std::size_t>(alive[k]);
+              r += renamed_[s];
+              node_tx[s] += renamed_[s];
+            }
+            fx->transmissions += r;
+            if (r == 1) {
+              fx->lone_deliveries += 1;
+              fx->primary_lone_delivered = true;
+            }
+            if (r >= 1) {
+              for (std::size_t k = 0; k < m; ++k) {
+                const auto s = static_cast<std::size_t>(alive[k]);
+                if (renamed_[s]) {
+                  stage_[s] = kLeaf;  // kActive: elect over leaf = new ID
+                  leaf_.Enter(s, chan_[s]);
+                } else {
+                  finished[k] = 1;  // someone renamed and we did not
+                }
+              }
+            } else {
+              for (std::size_t k = 0; k < m; ++k) {
+                step_[static_cast<std::size_t>(alive[k])] = 2;
+              }
+            }
+            return true;
+          }
+          default: {  // knockout with probability 1/k
+            const std::int64_t tx =
+                PrimaryCoinRound(*knock_, ctx, alive, node_tx, mask_, fx);
+            if (KnockoutFinish(tx, mask_, finished)) return true;
+            for (std::size_t k = 0; k < m; ++k) {
+              const auto s = static_cast<std::size_t>(alive[k]);
+              step_[s] = 0;
+              ++pairs_[s];
+            }
+            return true;
+          }
+        }
+      case kLeaf:
+      default:
+        return false;
+    }
+  }
+
  private:
   enum Stage : std::uint8_t { kFallback, kReduce, kIdr, kLeaf };
 
@@ -777,6 +1141,12 @@ class GeneralProgram final : public StepProgram {
   std::vector<std::int32_t> chan_;  // IDR spread channel (leaf label later)
   std::vector<std::uint8_t> renamed_;
   std::vector<std::int64_t> pairs_;
+  // FastRound scratch (see IdReductionProgram).
+  std::vector<std::uint8_t> mask_;
+  std::vector<std::int32_t> chan_scratch_;
+  std::vector<std::uint8_t> lone_scratch_;
+  std::vector<std::uint16_t> counts_;
+  std::vector<std::int32_t> touched_;
 };
 
 }  // namespace

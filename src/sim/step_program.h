@@ -48,6 +48,14 @@ struct BatchContext {
   std::span<const std::int64_t> unique_ids;  // distinct IDs from [1, n]
 };
 
+// What one fused fast round did to the world — the slice of
+// mac::RoundSummary the engine's result accounting needs.
+struct FastRoundEffects {
+  std::int64_t transmissions = 0;       // total transmissions this round
+  std::int64_t lone_deliveries = 0;     // channels with exactly 1 transmitter
+  bool primary_lone_delivered = false;  // primary channel had exactly 1
+};
+
 // One protocol as an explicit state machine over columnar node state.
 //
 // Contract (mirrors one engine round):
@@ -61,6 +69,11 @@ struct BatchContext {
 //   Advance(...)      — consume feedback[k] for node alive[k], transition
 //                       its state, and set finished[k] = 1 when the node's
 //                       protocol terminated this round.
+//   FastRound(...)    — optional fused round: EmitActions + channel
+//                       resolution + Advance in one pass, skipping the
+//                       Action/Feedback arrays and mac::Resolver entirely
+//                       (src/simd/ kernels do the heavy loops). Only called
+//                       on pristine strong-CD untraced rounds.
 //
 // A program instance is reusable (Reset) but not thread-safe; use one
 // instance per thread.
@@ -84,6 +97,28 @@ class StepProgram {
                        std::span<const mac::Action> actions,
                        std::span<const mac::Feedback> feedback,
                        std::span<std::uint8_t> finished) = 0;
+
+  // Executes the whole round — the draws EmitActions would make (same
+  // streams, same order), strong-CD channel resolution, and the Advance
+  // transitions — writing per-slot transmission charges into
+  // node_tx[alive[k]]'s slot, termination into finished[k], and the round's
+  // channel summary into *effects. Returns false to decline (the engine
+  // then runs the generic materialized path); a declining implementation
+  // must be side-effect-free. The engine only calls this when no fault
+  // injection is active, cd_model == kStrong, and no trace is recorded, so
+  // feedback is a pure function of the emitted actions. `finished` arrives
+  // zeroed.
+  virtual bool FastRound(const BatchContext& ctx, std::span<const NodeId> alive,
+                         std::span<std::int64_t> node_tx,
+                         std::span<std::uint8_t> finished,
+                         FastRoundEffects* effects) {
+    (void)ctx;
+    (void)alive;
+    (void)node_tx;
+    (void)finished;
+    (void)effects;
+    return false;
+  }
 };
 
 using StepProgramFactory = std::function<std::unique_ptr<StepProgram>()>;

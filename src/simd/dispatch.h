@@ -1,0 +1,41 @@
+// Runtime CPU dispatch for the vector kernels (src/simd/kernels.h).
+//
+// Three backends, all bit-identical: a portable scalar reference, SSE4.2,
+// and AVX2. The x86 backends are compiled into separate translation units
+// with per-file -msse4.2 / -mavx2 (only when the compiler supports the flag
+// and CRMC_SIMD is ON), and are only ever *called* after a cpuid probe says
+// the instruction set exists — so the binary runs everywhere the scalar
+// build would. The probe runs once; the active backend is process-global
+// and overridable (--simd=scalar|sse4.2|avx2|auto on the CLI, SetBackend
+// here) so the bit-exactness suite can force every backend on one machine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace crmc::simd {
+
+enum class Backend : std::uint8_t { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+const char* ToString(Backend backend);
+
+// True when `backend` is both compiled into this binary and supported by
+// the running CPU. kScalar is always available.
+bool BackendAvailable(Backend backend);
+
+// Best available backend for this binary/CPU (cpuid probe, memoized).
+Backend DetectBackend();
+
+// The backend the kernels currently dispatch to. Starts at DetectBackend().
+Backend ActiveBackend();
+
+// Forces dispatch to `backend`. Returns false (active backend unchanged)
+// when the backend is not available in this build or on this CPU.
+bool SetBackend(Backend backend);
+
+// "scalar" | "sse4.2" | "avx2" | "auto"; auto means DetectBackend().
+// Returns nullopt for anything else.
+std::optional<Backend> ParseBackend(std::string_view name);
+
+}  // namespace crmc::simd

@@ -1,0 +1,276 @@
+// AVX2 backend: 8-lane Philox4x32-10 for the draw kernels, permutevar-based
+// stream compaction, and gather-based lone-channel classification.
+//
+// Compiled with -mavx2 (see src/CMakeLists.txt); only reached through the
+// dispatch in kernels.cpp after a cpuid probe. Bit-exact with the scalar
+// reference: the vector Philox computes the identical block function, lanes
+// consume the identical number of draws, and the Lemire rejection test is
+// replicated exactly (rejections are ~2^-33 rare and finish scalar).
+#include <immintrin.h>
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "simd/kernels_impl.h"
+
+#if !defined(CRMC_SIMD_HAS_AVX2)
+#error "kernels_avx2.cpp requires CRMC_SIMD_HAS_AVX2"
+#endif
+
+namespace crmc::simd::internal {
+namespace {
+
+// Per-32-bit-lane high product: hi32(a[i] * b[i]) for 8 unsigned lanes.
+inline __m256i MulHi32(__m256i a, __m256i b) {
+  const __m256i even = _mm256_srli_epi64(_mm256_mul_epu32(a, b), 32);
+  const __m256i odd =
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), _mm256_srli_epi64(b, 32));
+  const __m256i hi_mask =
+      _mm256_set1_epi64x(static_cast<long long>(0xFFFFFFFF00000000ULL));
+  return _mm256_or_si256(even, _mm256_and_si256(odd, hi_mask));
+}
+
+// Eight independent Philox4x32-10 blocks, structure-of-arrays: lane j uses
+// counter (c0[j], c1[j], c2[j], c3[j]) and key (k0[j], k1[j]). Outputs the
+// two uint64 draws of each lane's block, matching Philox4x32::BlockU64.
+inline void PhiloxBlocks8(const std::uint32_t c0[8], const std::uint32_t c1[8],
+                          const std::uint32_t c2[8], const std::uint32_t c3[8],
+                          const std::uint32_t k0in[8],
+                          const std::uint32_t k1in[8], std::uint64_t out0[8],
+                          std::uint64_t out1[8]) {
+  __m256i x0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c0));
+  __m256i x1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c1));
+  __m256i x2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c2));
+  __m256i x3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c3));
+  __m256i k0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(k0in));
+  __m256i k1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(k1in));
+  const __m256i m0 = _mm256_set1_epi32(
+      static_cast<int>(support::Philox4x32::kMult0));
+  const __m256i m1 = _mm256_set1_epi32(
+      static_cast<int>(support::Philox4x32::kMult1));
+  const __m256i w0 = _mm256_set1_epi32(
+      static_cast<int>(support::Philox4x32::kWeyl0));
+  const __m256i w1 = _mm256_set1_epi32(
+      static_cast<int>(support::Philox4x32::kWeyl1));
+  for (int round = 0; round < support::Philox4x32::kRounds; ++round) {
+    const __m256i p0_hi = MulHi32(x0, m0);
+    const __m256i p0_lo = _mm256_mullo_epi32(x0, m0);
+    const __m256i p1_hi = MulHi32(x2, m1);
+    const __m256i p1_lo = _mm256_mullo_epi32(x2, m1);
+    const __m256i y0 =
+        _mm256_xor_si256(_mm256_xor_si256(p1_hi, x1), k0);
+    const __m256i y2 =
+        _mm256_xor_si256(_mm256_xor_si256(p0_hi, x3), k1);
+    x0 = y0;
+    x1 = p1_lo;
+    x2 = y2;
+    x3 = p0_lo;
+    k0 = _mm256_add_epi32(k0, w0);
+    k1 = _mm256_add_epi32(k1, w1);
+  }
+  alignas(32) std::uint32_t w0s[8], w1s[8], w2s[8], w3s[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(w0s), x0);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(w1s), x1);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(w2s), x2);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(w3s), x3);
+  for (int j = 0; j < 8; ++j) {
+    out0[j] = w0s[j] | (static_cast<std::uint64_t>(w1s[j]) << 32);
+    out1[j] = w2s[j] | (static_cast<std::uint64_t>(w3s[j]) << 32);
+  }
+}
+
+// Loads eight lanes' philox state into SoA counter/key arrays and produces
+// each lane's *next* draw (block = draws >> 1, half = draws & 1), without
+// advancing any lane. Callers advance via SkipPhiloxDraws afterwards.
+inline void NextDraws8(std::span<support::RandomSource> rng,
+                       const std::int32_t* lanes, std::uint64_t draws[8]) {
+  std::uint32_t c0[8], c1[8], c2[8], c3[8], k0[8], k1[8];
+  for (int j = 0; j < 8; ++j) {
+    const auto& rs = rng[static_cast<std::size_t>(lanes[j])];
+    const std::uint64_t block = rs.philox_draws() >> 1;
+    const std::uint64_t stream = rs.philox_stream();
+    const std::uint64_t key = rs.philox_key();
+    c0[j] = static_cast<std::uint32_t>(block);
+    c1[j] = static_cast<std::uint32_t>(block >> 32);
+    c2[j] = static_cast<std::uint32_t>(stream);
+    c3[j] = static_cast<std::uint32_t>(stream >> 32);
+    k0[j] = static_cast<std::uint32_t>(key);
+    k1[j] = static_cast<std::uint32_t>(key >> 32);
+  }
+  std::uint64_t d0[8], d1[8];
+  PhiloxBlocks8(c0, c1, c2, c3, k0, k1, d0, d1);
+  for (int j = 0; j < 8; ++j) {
+    const auto& rs = rng[static_cast<std::size_t>(lanes[j])];
+    draws[j] = (rs.philox_draws() & 1) ? d1[j] : d0[j];
+  }
+}
+
+struct PermRow {
+  std::uint32_t idx[8];
+};
+
+// lut[mask] lists the set-bit positions of `mask` in ascending order — the
+// permutevar8x32 pattern that packs kept lanes to the front.
+constexpr std::array<PermRow, 256> MakeCompactLut() {
+  std::array<PermRow, 256> lut{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int write = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (mask & (1 << bit)) {
+        lut[static_cast<std::size_t>(mask)].idx[write++] =
+            static_cast<std::uint32_t>(bit);
+      }
+    }
+  }
+  return lut;
+}
+
+constexpr std::array<PermRow, 256> kCompactLut = MakeCompactLut();
+
+}  // namespace
+
+std::int64_t CoinMaskAvx2(const support::BatchBernoulli& coin,
+                          std::span<support::RandomSource> rng,
+                          std::span<const std::int32_t> alive,
+                          std::span<std::uint8_t> mask) {
+  if (coin.fixed() >= 0 || !PhiloxLanes(rng, alive)) {
+    return CoinMaskScalar(coin, rng, alive, mask);
+  }
+  const std::uint64_t threshold = coin.threshold();
+  const std::size_t m = alive.size();
+  std::int64_t successes = 0;
+  std::size_t k = 0;
+  std::uint64_t draws[8];
+  for (; k + 8 <= m; k += 8) {
+    NextDraws8(rng, alive.data() + k, draws);
+    for (int j = 0; j < 8; ++j) {
+      rng[static_cast<std::size_t>(alive[k + static_cast<std::size_t>(j)])]
+          .SkipPhiloxDraws(1);
+      const bool hit = (draws[j] >> 11) < threshold;
+      mask[k + static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(hit);
+      successes += hit;
+    }
+  }
+  for (; k < m; ++k) {
+    const bool hit =
+        (rng[static_cast<std::size_t>(alive[k])].NextU64() >> 11) < threshold;
+    mask[k] = static_cast<std::uint8_t>(hit);
+    successes += hit;
+  }
+  return successes;
+}
+
+void UniformFillAvx2(const support::BatchUniformInt& dist,
+                     std::span<support::RandomSource> rng,
+                     std::span<const std::int32_t> alive,
+                     std::span<std::int32_t> out) {
+  if (!PhiloxLanes(rng, alive)) {
+    return UniformFillScalar(dist, rng, alive, out);
+  }
+  const std::uint64_t range = dist.range();
+  const std::uint64_t threshold = dist.threshold();
+  const std::int64_t lo = dist.lo();
+  const std::size_t m = alive.size();
+  std::size_t k = 0;
+  std::uint64_t draws[8];
+  for (; k + 8 <= m; k += 8) {
+    NextDraws8(rng, alive.data() + k, draws);
+    for (int j = 0; j < 8; ++j) {
+      auto& rs =
+          rng[static_cast<std::size_t>(alive[k + static_cast<std::size_t>(j)])];
+      rs.SkipPhiloxDraws(1);
+      __uint128_t prod = static_cast<__uint128_t>(draws[j]) * range;
+      auto low = static_cast<std::uint64_t>(prod);
+      while (low < threshold) {  // P[reject] < 2^-33: effectively never
+        prod = static_cast<__uint128_t>(rs.NextU64()) * range;
+        low = static_cast<std::uint64_t>(prod);
+      }
+      out[k + static_cast<std::size_t>(j)] =
+          static_cast<std::int32_t>(lo + static_cast<std::int64_t>(prod >> 64));
+    }
+  }
+  for (; k < m; ++k) {
+    out[k] = static_cast<std::int32_t>(
+        dist.Draw(rng[static_cast<std::size_t>(alive[k])]));
+  }
+}
+
+std::size_t CompactKeepAvx2(std::span<std::int32_t> ids,
+                            std::span<const std::uint8_t> drop) {
+  const std::size_t m = ids.size();
+  std::size_t write = 0;
+  std::size_t read = 0;
+  // In-place is safe: write <= read, the 8 source lanes are loaded before
+  // the (possibly overlapping) store, and write + 8 <= read + 8 <= m.
+  for (; read + 8 <= m; read += 8) {
+    const __m128i bytes = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(drop.data() + read));
+    const unsigned keep_bits =
+        static_cast<unsigned>(
+            _mm_movemask_epi8(_mm_cmpeq_epi8(bytes, _mm_setzero_si128()))) &
+        0xFFu;
+    const __m256i vals =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids.data() + read));
+    const __m256i perm = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kCompactLut[keep_bits].idx));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ids.data() + write),
+                        _mm256_permutevar8x32_epi32(vals, perm));
+    write += static_cast<std::size_t>(std::popcount(keep_bits));
+  }
+  for (; read < m; ++read) {
+    if (!drop[read]) ids[write++] = ids[read];
+  }
+  return write;
+}
+
+Occupancy ClassifyChannelsAvx2(std::span<const std::int32_t> channels,
+                               std::int32_t primary,
+                               std::span<std::uint16_t> counts,
+                               std::vector<std::int32_t>& touched,
+                               std::span<std::uint8_t> lone) {
+  // Histogramming is conflict-bound (same-channel lanes collide), so it
+  // stays scalar; the win is the gather-based classification pass.
+  touched.clear();
+  for (const std::int32_t ch : channels) {
+    std::uint16_t& cnt = counts[static_cast<std::size_t>(ch)];
+    if (cnt == 0) touched.push_back(ch);
+    if (cnt < 2) ++cnt;
+  }
+  const std::size_t m = channels.size();
+  std::size_t k = 0;
+  const auto* base = reinterpret_cast<const int*>(counts.data());
+  const __m256i low16 = _mm256_set1_epi32(0xFFFF);
+  const __m256i one = _mm256_set1_epi32(1);
+  // Gathers 32 bits at counts + 2*channel (scale 2): the counter in the low
+  // half, its neighbour in the high half — hence the +2 entries of padding
+  // the scratch contract requires.
+  for (; k + 8 <= m; k += 8) {
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(channels.data() + k));
+    const __m256i gathered = _mm256_i32gather_epi32(base, idx, 2);
+    const __m256i cnt = _mm256_and_si256(gathered, low16);
+    const unsigned bits = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(cnt, one))));
+    for (int j = 0; j < 8; ++j) {
+      lone[k + static_cast<std::size_t>(j)] =
+          static_cast<std::uint8_t>((bits >> j) & 1u);
+    }
+  }
+  for (; k < m; ++k) {
+    lone[k] = static_cast<std::uint8_t>(
+        counts[static_cast<std::size_t>(channels[k])] == 1);
+  }
+  Occupancy occ;
+  for (const std::int32_t ch : touched) {
+    std::uint16_t& cnt = counts[static_cast<std::size_t>(ch)];
+    if (cnt == 1) {
+      ++occ.lone_channels;
+      if (ch == primary) occ.primary_lone = true;
+    }
+    cnt = 0;
+  }
+  return occ;
+}
+
+}  // namespace crmc::simd::internal

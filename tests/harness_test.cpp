@@ -263,6 +263,30 @@ TEST(Runner, ThreadCountPreservesSolvedRoundsExactly) {
   EXPECT_EQ(a.solved_rounds, c.solved_rounds);
 }
 
+// Satellite of ISSUE 3: the same determinism contract under the
+// counter-based generator and with the fault layer active — the full
+// statistics (round list, failure breakdown, fault counters) must be a
+// pure function of the spec regardless of thread count.
+TEST(Runner, ThreadCountDeterministicPhiloxAndFaults) {
+  TrialSpec spec;
+  spec.num_active = 48;
+  spec.population = 1 << 12;
+  spec.channels = 32;
+  spec.rng = support::RngKind::kPhilox;
+  spec.max_rounds = 2000;
+  spec.faults.jam_rate = 0.1;
+  spec.faults.crash_rate = 0.005;
+  const ProtocolHandle handle = HandleFor(AlgorithmByName("general"));
+  const TrialSetResult a = RunTrials(spec, handle, 64, false, 1);
+  const TrialSetResult b = RunTrials(spec, handle, 64, false, 8);
+  EXPECT_EQ(a.solved_rounds, b.solved_rounds);
+  EXPECT_EQ(a.unsolved, b.unsolved);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
+}
+
 TEST(Runner, BatchFastPathMatchesCoroutineOracle) {
   TrialSpec spec;
   spec.num_active = 2;

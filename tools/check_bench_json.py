@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate crmc bench JSON artifacts and gate regressions.
 
-Supports two schemas, dispatched on the artifact's "schema" field:
+Supports three schemas, dispatched on the artifact's "schema" field:
 
   crmc.bench_engine.v1   throughput grid (bench_engine_throughput --json).
       check_bench_json.py BENCH_engine.json
@@ -13,6 +13,13 @@ Supports two schemas, dispatched on the artifact's "schema" field:
       more than --max-regression (default 20%). Trial counts may differ
       (quick vs full runs); points are keyed by (protocol, population,
       num_active, channels).
+
+  crmc.bench_engine.v2   v1 plus provenance and per-kernel rates: a
+      "metadata" object (cpu, compiler, dispatch, rng — non-empty strings)
+      and a "kernels" array of simd microbenchmark entries (name, backend,
+      lanes, items_per_sec). The grid points are unchanged, so --baseline
+      works across versions in both directions (a v1 baseline gates a v2
+      artifact and vice versa).
 
   crmc.bench_faults.v1   fault-degradation grid (bench_fault_tolerance
       --json). Validates the schema, cross-checks the counters
@@ -34,7 +41,9 @@ import json
 import sys
 
 ENGINE_SCHEMA = "crmc.bench_engine.v1"
+ENGINE_SCHEMA_V2 = "crmc.bench_engine.v2"
 FAULTS_SCHEMA = "crmc.bench_faults.v1"
+METADATA_KEYS = ("cpu", "compiler", "dispatch", "rng")
 ENGINE_METRICS = ("seconds", "trials_per_sec", "rounds_per_sec",
                   "node_rounds_per_sec")
 POINT_KEYS = ("protocol", "population", "num_active", "channels")
@@ -91,8 +100,41 @@ def _check_number(container, key, where, lo=None, hi=None):
     return v
 
 
-def validate_engine(doc, path):
-    """Checks the crmc.bench_engine.v1 schema; returns the points list."""
+def _validate_metadata(doc, path):
+    meta = doc.get("metadata")
+    if not isinstance(meta, dict):
+        fail(f"{path}: 'metadata' must be an object")
+    for key in METADATA_KEYS:
+        v = meta.get(key)
+        if not isinstance(v, str) or not v:
+            fail(f"{path}: metadata.{key} must be a non-empty string")
+    return meta
+
+
+def _validate_kernels(doc, path):
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, list) or not kernels:
+        fail(f"{path}: 'kernels' must be a non-empty array")
+    for i, k in enumerate(kernels):
+        where = f"{path}: kernels[{i}]"
+        if not isinstance(k, dict):
+            fail(f"{where}: must be an object")
+        for key in ("name", "backend"):
+            if not isinstance(k.get(key), str) or not k[key]:
+                fail(f"{where}: '{key}' must be a non-empty string")
+        _check_positive_int(k, "lanes", where)
+        _check_number(k, "items_per_sec", where, lo=0)
+    names = [(k["name"], k["backend"]) for k in kernels]
+    if len(set(names)) != len(names):
+        fail(f"{path}: duplicate (kernel, backend) entries")
+    return kernels
+
+
+def validate_engine(doc, path, schema=ENGINE_SCHEMA):
+    """Checks a crmc.bench_engine.* schema; returns the points list."""
+    if schema == ENGINE_SCHEMA_V2:
+        _validate_metadata(doc, path)
+        _validate_kernels(doc, path)
     points = _check_points_container(doc, path)
     for i, p in enumerate(points):
         where = f"{path}: points[{i}]"
@@ -217,9 +259,13 @@ def run_checks(args):
     if not isinstance(doc, dict):
         fail(f"{args.artifact}: top level must be an object")
     schema = doc.get("schema")
-    if schema == ENGINE_SCHEMA:
-        points = validate_engine(doc, args.artifact)
+    if schema in (ENGINE_SCHEMA, ENGINE_SCHEMA_V2):
+        points = validate_engine(doc, args.artifact, schema)
         print(f"{args.artifact}: schema ok, {len(points)} grid points")
+        if schema == ENGINE_SCHEMA_V2:
+            meta = doc["metadata"]
+            print(f"metadata: cpu={meta['cpu']!r} dispatch={meta['dispatch']} "
+                  f"rng={meta['rng']}; {len(doc['kernels'])} kernel rates")
         if args.min_speedup is not None:
             for p in points:
                 sp = p["speedup_trials_per_sec"]
@@ -229,7 +275,14 @@ def run_checks(args):
                          f"--min-speedup {args.min_speedup:.2f}")
             print(f"all points have speedup >= {args.min_speedup:.2f}")
         if args.baseline:
-            base_points = validate_engine(load(args.baseline), args.baseline)
+            base_doc = load(args.baseline)
+            if not isinstance(base_doc, dict):
+                fail(f"{args.baseline}: top level must be an object")
+            base_schema = base_doc.get("schema")
+            if base_schema not in (ENGINE_SCHEMA, ENGINE_SCHEMA_V2):
+                fail(f"{args.baseline}: baseline schema is {base_schema!r}, "
+                     f"expected an engine schema")
+            base_points = validate_engine(base_doc, args.baseline, base_schema)
             compared = check_engine_baseline(points, base_points,
                                              args.max_regression)
             print(f"no regression > {args.max_regression:.0%} across "
@@ -246,7 +299,7 @@ def run_checks(args):
         print(f"jam-axis monotonicity ok across {checked} adjacent pairs")
     else:
         fail(f"{args.artifact}: schema is {schema!r}, expected "
-             f"{ENGINE_SCHEMA!r} or {FAULTS_SCHEMA!r}")
+             f"{ENGINE_SCHEMA!r}, {ENGINE_SCHEMA_V2!r} or {FAULTS_SCHEMA!r}")
     print("check_bench_json: OK")
 
 
@@ -307,6 +360,21 @@ def _expect_fail(what, fn, needle):
     return False
 
 
+def _v2_doc(**overrides):
+    doc = {
+        "schema": ENGINE_SCHEMA_V2,
+        "metadata": {"cpu": "Test CPU", "compiler": "g++ 0.0",
+                     "dispatch": "avx2", "rng": "xoshiro"},
+        "kernels": [{"name": "coin_mask", "backend": "scalar",
+                     "lanes": 4096, "items_per_sec": 1e9},
+                    {"name": "coin_mask", "backend": "avx2",
+                     "lanes": 4096, "items_per_sec": 4e9}],
+        "points": [_engine_point()],
+    }
+    doc.update(overrides)
+    return doc
+
+
 def self_test():
     engine_doc = {"schema": ENGINE_SCHEMA, "points": [_engine_point()]}
     faults_doc = {
@@ -332,9 +400,46 @@ def self_test():
         "schema": FAULTS_SCHEMA,
         "points": [_faults_point(jam=0.0, success=1.0, success_rate=0.5)],
     }
+    v2_no_cpu = _v2_doc()
+    v2_no_cpu["metadata"] = dict(v2_no_cpu["metadata"], cpu="")
+    v2_bad_kernel = _v2_doc(kernels=[{"name": "coin_mask",
+                                      "backend": "scalar", "lanes": 0,
+                                      "items_per_sec": 1e9}])
+    v2_dup_kernel = _v2_doc()
+    v2_dup_kernel["kernels"] = [v2_dup_kernel["kernels"][0]] * 2
+    v2_fast = _v2_doc(points=[_engine_point(
+        engines={name: {"seconds": 1.0, "trials_per_sec": 200.0,
+                        "rounds_per_sec": 1000.0, "node_rounds_per_sec": 1e6}
+                 for name in ("coroutine", "batch")})])
     checks = [
         _expect_ok("engine schema accepts a valid doc",
                    lambda: validate_engine(engine_doc, "mem")),
+        _expect_ok("v2 schema accepts a valid doc",
+                   lambda: validate_engine(_v2_doc(), "mem",
+                                           ENGINE_SCHEMA_V2)),
+        _expect_fail("v2 schema rejects empty metadata.cpu",
+                     lambda: validate_engine(v2_no_cpu, "mem",
+                                             ENGINE_SCHEMA_V2),
+                     "metadata.cpu"),
+        _expect_fail("v2 schema rejects a non-positive kernel lane count",
+                     lambda: validate_engine(v2_bad_kernel, "mem",
+                                             ENGINE_SCHEMA_V2),
+                     "lanes"),
+        _expect_fail("v2 schema rejects duplicate kernel entries",
+                     lambda: validate_engine(v2_dup_kernel, "mem",
+                                             ENGINE_SCHEMA_V2),
+                     "duplicate (kernel, backend)"),
+        _expect_fail("v2 schema rejects a missing kernels array",
+                     lambda: validate_engine(_v2_doc(kernels=[]), "mem",
+                                             ENGINE_SCHEMA_V2),
+                     "'kernels'"),
+        _expect_ok("baseline check crosses schema versions",
+                   lambda: check_engine_baseline(v2_fast["points"],
+                                                 engine_doc["points"], 0.2)),
+        _expect_fail("baseline check gates a v2 regression",
+                     lambda: check_engine_baseline(engine_doc["points"],
+                                                   v2_fast["points"], 0.2),
+                     "regressed"),
         _expect_fail("engine schema rejects a missing engine",
                      lambda: validate_engine(
                          {"schema": ENGINE_SCHEMA,

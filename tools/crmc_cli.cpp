@@ -28,6 +28,8 @@
 #include "harness/table.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
+#include "simd/dispatch.h"
+#include "support/rng.h"
 
 namespace {
 
@@ -43,15 +45,24 @@ using namespace crmc;
       "  sweep     one algorithm across a parameter range\n"
       "  estimate  active-count estimation (geometric or density)\n"
       "  drain     k-selection: deliver every active node's packet\n"
+      "  simd      kernel backends: compiled/available/active\n"
+      "            (--require-vector exits 1 unless a vector backend is\n"
+      "            active — the perf tier's dispatch canary)\n"
       "  list      registered algorithms\n"
       "common flags: --active N  --population N  --channels C  --seed S\n"
+      "              --simd scalar|sse4.2|avx2|auto (force kernel backend)\n"
       "run flags:    --algo NAME  --cd strong|receiver|none  --trace\n"
-      "              --run-to-completion\n"
+      "              --run-to-completion  --rng xoshiro|philox\n"
       "              --jam-rate P --erasure-rate P --flaky-cd P\n"
       "              --crash-rate P --fault-seed S   (adversarial faults)\n"
       "sweep flags:  --algo NAME --vary channels|active --values a,b,c\n"
       "              --trials T --quantile Q\n"
-      "race/sweep:   --no-batch forces the coroutine engine (the batch\n"
+      "race/sweep:   --threads N splits trials over N worker threads\n"
+      "              (0 = hardware concurrency; statistics are identical\n"
+      "              for every N — trials are seed-indexed, not\n"
+      "              thread-indexed)\n"
+      "              --rng xoshiro|philox picks the draw generator\n"
+      "              --no-batch forces the coroutine engine (the batch\n"
       "              fast path is bit-exact, so results are identical)\n";
   std::exit(2);
 }
@@ -72,6 +83,26 @@ std::vector<std::int64_t> ParseValues(const std::string& csv) {
   }
   if (out.empty()) Usage("--values expects a comma-separated list");
   return out;
+}
+
+support::RngKind ParseRng(const std::string& name) {
+  const std::optional<support::RngKind> kind = support::ParseRngKind(name);
+  if (!kind) Usage("unknown rng '" + name + "' (xoshiro|philox)");
+  return *kind;
+}
+
+// Global --simd flag: force the kernel dispatch backend before any trial
+// runs. "auto" re-probes the CPU; anything unavailable is a hard error so
+// a script asking for avx2 never silently measures scalar.
+void ApplySimdFlag(const harness::Flags& flags) {
+  const std::optional<std::string> name = flags.GetString("simd");
+  if (!name) return;
+  const std::optional<simd::Backend> backend = simd::ParseBackend(*name);
+  if (!backend) Usage("unknown simd backend '" + *name + "'");
+  if (!simd::SetBackend(*backend)) {
+    Usage("simd backend '" + *name +
+          "' is not available in this build/CPU");
+  }
 }
 
 sim::EngineConfig BaseConfig(const harness::Flags& flags) {
@@ -112,6 +143,7 @@ int CmdRun(const harness::Flags& flags) {
   config.faults.crash_rate = flags.GetDoubleOr("crash-rate", 0.0);
   config.faults.fault_seed =
       static_cast<std::uint64_t>(flags.GetIntOr("fault-seed", 0));
+  config.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
   RejectUnknownFlags(flags);
 
   const harness::AlgorithmInfo& info = harness::AlgorithmByName(algo);
@@ -162,14 +194,17 @@ int CmdRace(const harness::Flags& flags) {
   spec.population = flags.GetIntOr("population", 1 << 20);
   spec.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
   spec.use_batch_engine = !flags.GetBoolOr("no-batch", false);
+  spec.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
   const auto trials = static_cast<std::int32_t>(flags.GetIntOr("trials", 200));
+  const auto threads =
+      static_cast<std::int32_t>(flags.GetIntOr("threads", 0));
   RejectUnknownFlags(flags);
 
   harness::Table table({"algorithm", "mean", "p95", "max", "unsolved"});
   for (const harness::AlgorithmInfo& info : harness::Algorithms()) {
     if (info.requires_two_active && spec.num_active != 2) continue;
-    const harness::TrialSetResult r =
-        harness::RunTrials(spec, harness::HandleFor(info), trials);
+    const harness::TrialSetResult r = harness::RunTrials(
+        spec, harness::HandleFor(info), trials, /*keep_runs=*/false, threads);
     table.Row().Cells(info.name, r.summary.mean, r.summary.p95,
                       r.summary.max,
                       static_cast<std::int64_t>(r.unsolved));
@@ -190,6 +225,9 @@ int CmdSweep(const harness::Flags& flags) {
   base.population = flags.GetIntOr("population", 1 << 20);
   base.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
   base.use_batch_engine = !flags.GetBoolOr("no-batch", false);
+  base.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
+  const auto threads =
+      static_cast<std::int32_t>(flags.GetIntOr("threads", 0));
   RejectUnknownFlags(flags);
   if (vary != "channels" && vary != "active") {
     Usage("--vary must be 'channels' or 'active'");
@@ -206,8 +244,8 @@ int CmdSweep(const harness::Flags& flags) {
     } else {
       spec.num_active = static_cast<std::int32_t>(v);
     }
-    const harness::TrialSetResult r =
-        harness::RunTrials(spec, handle, trials);
+    const harness::TrialSetResult r = harness::RunTrials(
+        spec, handle, trials, /*keep_runs=*/false, threads);
     table.Row().Cells(v, r.summary.mean,
                       harness::Quantile(r.solved_rounds, quantile),
                       r.summary.max);
@@ -252,6 +290,41 @@ int CmdDrain(const harness::Flags& flags) {
   return r.all_terminated ? 0 : 1;
 }
 
+int CmdSimd(const harness::Flags& flags) {
+  const bool require_vector = flags.GetBoolOr("require-vector", false);
+  RejectUnknownFlags(flags);
+  harness::Table table({"backend", "compiled", "available", "active"});
+  const simd::Backend active = simd::ActiveBackend();
+  const struct {
+    simd::Backend backend;
+    bool compiled;
+  } rows[] = {
+      {simd::Backend::kScalar, true},
+#if defined(CRMC_SIMD_HAS_SSE42)
+      {simd::Backend::kSse42, true},
+#else
+      {simd::Backend::kSse42, false},
+#endif
+#if defined(CRMC_SIMD_HAS_AVX2)
+      {simd::Backend::kAvx2, true},
+#else
+      {simd::Backend::kAvx2, false},
+#endif
+  };
+  for (const auto& row : rows) {
+    table.Row().Cells(simd::ToString(row.backend),
+                      row.compiled ? "yes" : "no",
+                      simd::BackendAvailable(row.backend) ? "yes" : "no",
+                      row.backend == active ? "yes" : "no");
+  }
+  table.Print(std::cout);
+  if (require_vector && active == simd::Backend::kScalar) {
+    std::cerr << "error: --require-vector, but dispatch is scalar\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,12 +332,14 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const harness::Flags flags = harness::Flags::Parse(argc - 1, argv + 1);
   try {
+    ApplySimdFlag(flags);
     if (command == "list") return CmdList();
     if (command == "run") return CmdRun(flags);
     if (command == "race") return CmdRace(flags);
     if (command == "sweep") return CmdSweep(flags);
     if (command == "estimate") return CmdEstimate(flags);
     if (command == "drain") return CmdDrain(flags);
+    if (command == "simd") return CmdSimd(flags);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
