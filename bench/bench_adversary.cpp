@@ -1,0 +1,277 @@
+// E23: resource-competitive degradation under budgeted adaptive jamming.
+//
+// Sweeps the adaptive-adversary subsystem (src/adversary/) across the
+// paper's two algorithms and measures how much contention-resolution delay
+// each jamming *strategy* buys per unit of budget: success rate, failure
+// breakdown, round-count inflation relative to the adversary-free runs,
+// and the fraction of the budget that actually suppressed a lone delivery
+// (spent vs effective jams — the resource-competitive currency).
+//
+// The budget axis is a fraction of the maximum spendable budget
+// (max_rounds * per_round_cap), so strategies are compared at equal
+// resource levels; the oblivious E22-style jammer (rate = fraction) rides
+// along as the non-adaptive baseline.
+//
+//   (default)        prints the degradation table.
+//   --json <path>    also writes the machine-readable artifact (schema
+//                    crmc.bench_adversary.v1) consumed by
+//                    tools/check_bench_json.py. `--quick` shrinks trial
+//                    counts for CI; `--trials-scale <f>` scales them.
+//
+// Outcomes are simulated rounds, not wall time, so the artifact is
+// deterministic for a given mode and the validator's budget-axis
+// monotonicity check is exact.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "harness/flags.h"
+#include "harness/json_writer.h"
+#include "harness/registry.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "support/assert.h"
+
+namespace {
+
+using namespace crmc;
+
+struct BenchProtocol {
+  const char* name;
+  std::int64_t population;
+  std::int32_t num_active;
+  std::int32_t channels;
+  std::int32_t trials;       // full-mode trial count; scaled by --quick
+  std::int64_t max_rounds;   // tight enough that heavy jamming times out
+  std::int32_t per_round_cap;  // K: channels the adversary may jam per round
+};
+
+// TwoActive is nearly un-delayable by a cap-1 jammer (it escapes to side
+// channels), which is exactly the claim worth measuring; General's
+// Reduce stage collapses under a single well-placed jam, the other
+// extreme. max_rounds stays at the E22 values so the two artifacts are
+// comparable point-for-point.
+const BenchProtocol kProtocols[] = {
+    {"two_active", 1 << 16, 2, 32, 600, 64, 1},
+    {"general", 1 << 14, 128, 64, 300, 2000, 4},
+};
+
+// Budget axis: fraction of the maximum spendable budget
+// (max_rounds * per_round_cap). 0 doubles as the pristine baseline for the
+// inflation column; 1.0 lets the strategy jam at its cap every round. The
+// axis is dense near 0 because that is where the gradient lives: both
+// algorithms solve in a handful of rounds pristine, so a budget of a few
+// jams is already a large fraction of the fight — by f=0.25 every budgeted
+// strategy has all the budget it can spend before the run decides.
+const double kBudgetFractions[] = {0.0, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0};
+
+const adversary::Kind kStrategies[] = {
+    adversary::Kind::kPrimaryCamper,
+    adversary::Kind::kGreedyReactive,
+    adversary::Kind::kRandomBudgeted,
+};
+
+constexpr std::uint64_t kSeedBase = 0xad7e25abe4cULL;
+
+struct PointResult {
+  BenchProtocol protocol;
+  adversary::AdversarySpec adversary;
+  double budget_fraction = 0.0;
+  std::int32_t trials = 0;
+  harness::TrialSetResult result;
+  double round_inflation = 0.0;  // vs the protocol's adversary-free mean
+};
+
+PointResult RunPoint(const BenchProtocol& p,
+                     const adversary::AdversarySpec& spec, double fraction,
+                     double scale) {
+  PointResult out;
+  out.protocol = p;
+  out.adversary = spec;
+  out.budget_fraction = fraction;
+  out.trials = std::max(
+      std::int32_t{20},
+      static_cast<std::int32_t>(static_cast<double>(p.trials) * scale));
+  harness::TrialSpec trial;
+  trial.population = p.population;
+  trial.num_active = p.num_active;
+  trial.channels = p.channels;
+  trial.max_rounds = p.max_rounds;
+  trial.base_seed = kSeedBase;
+  trial.adversary = spec;
+  const harness::AlgorithmInfo& info = harness::AlgorithmByName(p.name);
+  out.result = harness::RunTrials(trial, harness::HandleFor(info), out.trials);
+  return out;
+}
+
+adversary::AdversarySpec SpecFor(adversary::Kind kind, const BenchProtocol& p,
+                                 double fraction) {
+  adversary::AdversarySpec spec;
+  spec.kind = kind;
+  if (kind == adversary::Kind::kObliviousRate) {
+    spec.rate = fraction;
+  } else {
+    spec.per_round_cap = p.per_round_cap;
+    spec.budget = std::llround(fraction *
+                               static_cast<double>(p.max_rounds) *
+                               static_cast<double>(p.per_round_cap));
+  }
+  return spec;
+}
+
+double SuccessRate(const PointResult& pt) {
+  return static_cast<double>(pt.result.solved_rounds.size()) /
+         static_cast<double>(pt.trials);
+}
+
+// Unsolved trials that neither timed out nor aborted: every node terminated
+// convinced the problem was solved, but no lone primary delivery ever
+// landed. Only an adaptive jammer produces these (by splitting lockstep
+// node states), so the breakdown gets its own column.
+std::int32_t SilentFailures(const harness::TrialSetResult& r) {
+  return std::max(0, r.unsolved - r.timed_out - r.aborted);
+}
+
+void WritePoint(harness::JsonWriter& w, const PointResult& pt) {
+  const harness::TrialSetResult& r = pt.result;
+  w.BeginObject();
+  w.Key("protocol").Value(pt.protocol.name);
+  w.Key("population").Value(pt.protocol.population);
+  w.Key("num_active").Value(static_cast<std::int64_t>(pt.protocol.num_active));
+  w.Key("channels").Value(static_cast<std::int64_t>(pt.protocol.channels));
+  w.Key("max_rounds").Value(pt.protocol.max_rounds);
+  w.Key("trials").Value(static_cast<std::int64_t>(pt.trials));
+  w.Key("adversary").BeginObject();
+  w.Key("strategy").Value(adversary::ToString(pt.adversary.kind));
+  w.Key("obs").Value(adversary::ToString(pt.adversary.obs));
+  w.Key("budget").Value(pt.adversary.budget);
+  w.Key("budget_fraction").Value(pt.budget_fraction);
+  w.Key("per_round_cap")
+      .Value(static_cast<std::int64_t>(pt.adversary.per_round_cap));
+  w.Key("rate").Value(pt.adversary.rate);
+  w.EndObject();
+  w.Key("solved").Value(static_cast<std::int64_t>(r.solved_rounds.size()));
+  w.Key("unsolved").Value(static_cast<std::int64_t>(r.unsolved));
+  w.Key("timed_out").Value(static_cast<std::int64_t>(r.timed_out));
+  w.Key("aborted").Value(static_cast<std::int64_t>(r.aborted));
+  w.Key("wedged").Value(static_cast<std::int64_t>(r.wedged));
+  w.Key("silent_failures").Value(static_cast<std::int64_t>(SilentFailures(r)));
+  w.Key("success_rate").Value(SuccessRate(pt));
+  w.Key("mean_solved_rounds")
+      .Value(r.solved_rounds.empty() ? 0.0 : r.summary.mean);
+  w.Key("round_inflation").Value(pt.round_inflation);
+  w.Key("adv_jams_spent").Value(r.adv_jams_spent);
+  w.Key("adv_jams_effective").Value(r.adv_jams_effective);
+  w.EndObject();
+}
+
+std::string AdversaryLabel(const PointResult& pt) {
+  std::string label = adversary::ToString(pt.adversary.kind);
+  if (pt.adversary.kind == adversary::Kind::kObliviousRate) {
+    label += " rate=" + harness::FormatDouble(pt.adversary.rate, 2);
+  } else {
+    label += " f=" + harness::FormatDouble(pt.budget_fraction, 2);
+  }
+  return label;
+}
+
+int RunBench(const harness::Flags& flags) {
+  const bool json_mode = flags.GetString("json").has_value();
+  const std::string path = json_mode ? *flags.GetString("json") : "";
+  const bool quick = flags.GetBoolOr("quick", false);
+  const double scale = flags.GetDoubleOr("trials-scale", quick ? 0.25 : 1.0);
+  CRMC_REQUIRE_MSG(scale > 0.0, "--trials-scale must be positive");
+  const auto unconsumed = flags.UnconsumedFlags();
+  if (!unconsumed.empty()) {
+    std::cerr << "unknown flag: --" << unconsumed.front() << "\n";
+    return 2;
+  }
+
+  std::vector<PointResult> points;
+  for (const BenchProtocol& p : kProtocols) {
+    // Budget sweep per budgeted strategy; fraction 0 (budget 0, bit-exact
+    // pristine) anchors the inflation baseline for the whole protocol.
+    double baseline_mean = 0.0;
+    for (const adversary::Kind kind : kStrategies) {
+      for (const double fraction : kBudgetFractions) {
+        PointResult pt = RunPoint(p, SpecFor(kind, p, fraction), fraction,
+                                  scale);
+        const bool solved_any = !pt.result.solved_rounds.empty();
+        if (fraction == 0.0 && solved_any && baseline_mean == 0.0) {
+          baseline_mean = pt.result.summary.mean;
+        }
+        if (baseline_mean > 0.0 && solved_any) {
+          pt.round_inflation = pt.result.summary.mean / baseline_mean;
+        }
+        points.push_back(std::move(pt));
+      }
+    }
+    // Non-adaptive anchor: the E22 oblivious jammer at rate = fraction
+    // (expected spend ~= fraction of every touched channel, no budget).
+    for (const double fraction : kBudgetFractions) {
+      if (fraction == 0.0) continue;  // identical to the pristine points
+      PointResult pt = RunPoint(
+          p, SpecFor(adversary::Kind::kObliviousRate, p, fraction), fraction,
+          scale);
+      if (baseline_mean > 0.0 && !pt.result.solved_rounds.empty()) {
+        pt.round_inflation = pt.result.summary.mean / baseline_mean;
+      }
+      points.push_back(std::move(pt));
+    }
+  }
+
+  harness::Table table({"protocol", "adversary", "budget", "trials",
+                        "success", "timeout", "abort", "silent",
+                        "mean rounds", "inflation", "spent", "effective"});
+  for (const PointResult& pt : points) {
+    const harness::TrialSetResult& r = pt.result;
+    table.Row().Cells(
+        pt.protocol.name, AdversaryLabel(pt), pt.adversary.budget,
+        static_cast<std::int64_t>(pt.trials),
+        harness::FormatDouble(SuccessRate(pt), 3),
+        static_cast<std::int64_t>(r.timed_out),
+        static_cast<std::int64_t>(r.aborted),
+        static_cast<std::int64_t>(SilentFailures(r)),
+        harness::FormatDouble(
+            r.solved_rounds.empty() ? 0.0 : r.summary.mean, 1),
+        harness::FormatDouble(pt.round_inflation, 2), r.adv_jams_spent,
+        r.adv_jams_effective);
+  }
+  table.Print(std::cout);
+
+  if (json_mode) {
+    CRMC_REQUIRE_MSG(!path.empty(), "--json requires a file path");
+    std::ofstream out(path);
+    CRMC_REQUIRE_MSG(out.good(), "cannot open --json path " << path);
+    harness::JsonWriter w(out);
+    w.BeginObject();
+    w.Key("schema").Value("crmc.bench_adversary.v1");
+    w.Key("mode").Value(quick ? "quick" : "full");
+    w.Key("points").BeginArray();
+    for (const PointResult& pt : points) WritePoint(w, pt);
+    w.EndArray();
+    w.EndObject();
+    w.Finish();
+    CRMC_REQUIRE_MSG(out.good(), "write failed for " << path);
+    out.close();
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const harness::Flags flags = harness::Flags::Parse(argc, argv);
+    return RunBench(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,82 @@
+// Scenario: which jamming strategy buys more delay per jam?
+//
+// Two adversaries with identical budgets attack the paper's general
+// algorithm: GreedyReactive eavesdrops on the previous round's channel
+// activity and aims for channels that just carried a lone transmission,
+// while RandomBudgeted sprays the same budget over uniformly random
+// channels. The duel makes the resource-competitive question concrete —
+// what does reactivity (information) add on top of raw budget?
+//
+//   ./jammer_duel [budget] [num_active] [channels] [trials]
+#include <cstdlib>
+#include <iostream>
+
+#include "adversary/adversary.h"
+#include "harness/registry.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+int main(int argc, char** argv) {
+  using namespace crmc;
+
+  const std::int64_t budget = argc > 1 ? std::atoll(argv[1]) : 64;
+  harness::TrialSpec spec;
+  spec.num_active = argc > 2 ? std::atoi(argv[2]) : 128;
+  spec.population = 1 << 14;
+  spec.channels = argc > 3 ? std::atoi(argv[3]) : 64;
+  spec.max_rounds = 2000;
+  const int trials = argc > 4 ? std::atoi(argv[4]) : 200;
+
+  std::cout << "Jammer duel on the general algorithm: |A| = "
+            << spec.num_active << ", C = " << spec.channels << ", budget = "
+            << budget << " jams (cap 4/round), " << trials << " trials\n\n";
+
+  const harness::AlgorithmInfo& info = harness::AlgorithmByName("general");
+  harness::Table table({"adversary", "success", "mean rounds", "spent",
+                        "effective", "delay per jam"});
+  double pristine_mean = 0.0;
+  const adversary::Kind duelists[] = {
+      adversary::Kind::kNone,
+      adversary::Kind::kGreedyReactive,
+      adversary::Kind::kRandomBudgeted,
+  };
+  for (const adversary::Kind kind : duelists) {
+    spec.adversary = adversary::AdversarySpec{};
+    spec.adversary.kind = kind;
+    if (kind != adversary::Kind::kNone) {
+      spec.adversary.budget = budget;
+      spec.adversary.per_round_cap = 4;
+    }
+    const harness::TrialSetResult r =
+        harness::RunTrials(spec, harness::HandleFor(info), trials);
+    const double mean = r.solved_rounds.empty() ? 0.0 : r.summary.mean;
+    if (kind == adversary::Kind::kNone) pristine_mean = mean;
+    // Rounds of delay bought per jam actually spent, counting an unsolved
+    // trial as the full max_rounds horizon. The pristine row anchors it.
+    double delay_per_jam = 0.0;
+    if (kind != adversary::Kind::kNone && r.adv_jams_spent > 0) {
+      const double solved_delay =
+          static_cast<double>(r.solved_rounds.size()) *
+          (mean - pristine_mean);
+      const double failed_delay =
+          static_cast<double>(r.unsolved) *
+          (static_cast<double>(spec.max_rounds) - pristine_mean);
+      delay_per_jam =
+          (solved_delay + failed_delay) / static_cast<double>(r.adv_jams_spent);
+    }
+    table.Row().Cells(
+        kind == adversary::Kind::kNone ? "(pristine)"
+                                       : adversary::ToString(kind),
+        harness::FormatDouble(
+            static_cast<double>(r.solved_rounds.size()) / trials, 3),
+        harness::FormatDouble(mean, 1), r.adv_jams_spent,
+        r.adv_jams_effective, harness::FormatDouble(delay_per_jam, 1));
+  }
+  table.Print(std::cout);
+  std::cout << "\nGreedyReactive reads last round's busy channels (one round "
+               "stale); RandomBudgeted\nsprays blind. Identical budgets — "
+               "the gap in 'delay per jam' is the value of\ninformation. "
+               "Try a tiny budget (./jammer_duel 4) to see how few jams "
+               "break the\ngeneral algorithm's Reduce stage.\n";
+  return 0;
+}

@@ -1,0 +1,274 @@
+#include "adversary/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crmc::adversary {
+namespace {
+
+// Mixing constant for the adversary's master seed — distinct from the fault
+// layer's (mac/faults.cpp) so the jamming schedule and the oblivious fault
+// draws are independent even when adv_seed == fault_seed.
+constexpr std::uint64_t kAdvSeedSalt = 0xAD7E25A12B0B57ULL;
+// Stream selector for the planning RNG within the adversary's master seed.
+constexpr std::uint64_t kPlanStream = 0x7A3B17;
+
+std::uint64_t AdvMasterSeed(std::uint64_t run_seed, std::uint64_t adv_seed) {
+  return support::SplitMix64(run_seed ^ (kAdvSeedSalt * (adv_seed + 1)))
+      .Next();
+}
+
+class PrimaryCamper final : public Adversary {
+ public:
+  const char* name() const override { return "primary_camper"; }
+  void PlanJams(const PlanContext&,
+                std::vector<mac::ChannelId>& out) override {
+    out.push_back(mac::kPrimaryChannel);
+  }
+};
+
+class GreedyReactive final : public Adversary {
+ public:
+  const char* name() const override { return "greedy_reactive"; }
+  bool needs_observation() const override { return true; }
+
+  void PlanJams(const PlanContext& ctx,
+                std::vector<mac::ChannelId>& out) override {
+    if (ctx.last == nullptr) {
+      // Nothing observed yet (round 0, or total silence so far): the only
+      // channel known to matter is the solve channel.
+      out.push_back(mac::kPrimaryChannel);
+      return;
+    }
+    // Score each sighted channel by how close last round's activity was to
+    // a lone delivery: a lone transmitter is the jackpot (the protocol may
+    // be converging there), two transmitters are one elimination away,
+    // anything denser — or a censored activity-only sighting — is a weak
+    // signal. The solve channel gets a bump (only lone deliveries *there*
+    // end the run) and is always in the candidate set.
+    scored_.clear();
+    bool primary_sighted = false;
+    for (const ChannelSighting& s : ctx.last->sightings) {
+      int score = 1;
+      if (s.transmitters == 1) {
+        score = 3;
+      } else if (s.transmitters == 2) {
+        score = 2;
+      }
+      if (s.channel == mac::kPrimaryChannel) {
+        ++score;
+        primary_sighted = true;
+      }
+      scored_.push_back({score, s.channel});
+    }
+    if (!primary_sighted) scored_.push_back({1, mac::kPrimaryChannel});
+    // Deterministic order: best score first, channel id breaking ties.
+    std::sort(scored_.begin(), scored_.end(),
+              [](const Scored& a, const Scored& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.channel < b.channel;
+              });
+    const auto take = std::min<std::size_t>(scored_.size(),
+                                            static_cast<std::size_t>(
+                                                ctx.allowance));
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(scored_[i].channel);
+    }
+  }
+
+ private:
+  struct Scored {
+    int score;
+    mac::ChannelId channel;
+  };
+  std::vector<Scored> scored_;
+};
+
+class RandomBudgeted final : public Adversary {
+ public:
+  const char* name() const override { return "random_budgeted"; }
+  void PlanJams(const PlanContext& ctx,
+                std::vector<mac::ChannelId>& out) override {
+    // SampleWithoutReplacement returns distinct 1-based values — exactly
+    // the legal channel-id range.
+    support::SampleWithoutReplacement(ctx.channels, ctx.allowance, *ctx.rng,
+                                      scratch_, picks_);
+    for (const std::int64_t ch : picks_) {
+      out.push_back(static_cast<mac::ChannelId>(ch));
+    }
+  }
+
+ private:
+  support::SampleScratch scratch_;
+  std::vector<std::int64_t> picks_;
+};
+
+class ScriptedAdversary final : public Adversary {
+ public:
+  explicit ScriptedAdversary(std::vector<ScriptEntry> script)
+      : script_(std::move(script)) {
+    // Stable sort: entries for the same round keep their authored order.
+    std::stable_sort(script_.begin(), script_.end(),
+                     [](const ScriptEntry& a, const ScriptEntry& b) {
+                       return a.round < b.round;
+                     });
+  }
+
+  const char* name() const override { return "scripted"; }
+
+  void PlanJams(const PlanContext& ctx,
+                std::vector<mac::ChannelId>& out) override {
+    // Skip entries for rounds already past (e.g. scheduled under a round in
+    // which the budget was exhausted).
+    while (cursor_ < script_.size() && script_[cursor_].round < ctx.round) {
+      ++cursor_;
+    }
+    while (cursor_ < script_.size() && script_[cursor_].round == ctx.round &&
+           static_cast<std::int32_t>(out.size()) < ctx.allowance) {
+      const mac::ChannelId ch = script_[cursor_].channel;
+      ++cursor_;
+      if (ch > ctx.channels) continue;  // script written for a wider config
+      if (std::find(out.begin(), out.end(), ch) != out.end()) continue;
+      out.push_back(ch);
+    }
+  }
+
+ private:
+  std::vector<ScriptEntry> script_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+const char* ToString(Kind kind) {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kObliviousRate:
+      return "oblivious_rate";
+    case Kind::kPrimaryCamper:
+      return "primary_camper";
+    case Kind::kGreedyReactive:
+      return "greedy_reactive";
+    case Kind::kRandomBudgeted:
+      return "random_budgeted";
+    case Kind::kScripted:
+      return "scripted";
+  }
+  return "unknown";
+}
+
+std::optional<Kind> ParseAdversaryKind(std::string_view name) {
+  if (name == "none") return Kind::kNone;
+  if (name == "oblivious_rate") return Kind::kObliviousRate;
+  if (name == "primary_camper") return Kind::kPrimaryCamper;
+  if (name == "greedy_reactive") return Kind::kGreedyReactive;
+  if (name == "random_budgeted") return Kind::kRandomBudgeted;
+  if (name == "scripted") return Kind::kScripted;
+  return std::nullopt;
+}
+
+void AdversarySpec::Validate() const {
+  CRMC_REQUIRE_MSG(std::isfinite(rate) && rate >= 0.0 && rate <= 1.0,
+                   "adversary rate must be in [0, 1], got " << rate);
+  CRMC_REQUIRE_MSG(rate == 0.0 || kind == Kind::kObliviousRate,
+                   "adversary rate only applies to --adversary "
+                   "oblivious_rate, got kind "
+                       << ToString(kind));
+  CRMC_REQUIRE_MSG(budget >= 0,
+                   "adversary budget must be >= 0, got " << budget);
+  CRMC_REQUIRE_MSG(
+      budget == 0 || Budgeted(),
+      "adversary budget only applies to budgeted strategies; "
+          << ToString(kind) << " ignores it — leave --adversary-budget unset");
+  CRMC_REQUIRE_MSG(per_round_cap >= 1,
+                   "adversary per-round cap must be >= 1, got "
+                       << per_round_cap);
+  CRMC_REQUIRE_MSG(script.empty() || kind == Kind::kScripted,
+                   "a jam script only applies to the scripted adversary, "
+                   "got kind "
+                       << ToString(kind));
+  if (kind == Kind::kScripted) {
+    CRMC_REQUIRE_MSG(!script.empty(),
+                     "scripted adversary requires a non-empty script");
+    for (const ScriptEntry& e : script) {
+      CRMC_REQUIRE_MSG(e.round >= 0 && e.channel >= 1,
+                       "scripted adversary entries need round >= 0 and "
+                       "channel >= 1, got round "
+                           << e.round << " channel " << e.channel);
+    }
+  }
+}
+
+std::unique_ptr<Adversary> MakeAdversary(const AdversarySpec& spec) {
+  switch (spec.kind) {
+    case Kind::kNone:
+    case Kind::kObliviousRate:
+      return nullptr;
+    case Kind::kPrimaryCamper:
+      return std::make_unique<PrimaryCamper>();
+    case Kind::kGreedyReactive:
+      return std::make_unique<GreedyReactive>();
+    case Kind::kRandomBudgeted:
+      return std::make_unique<RandomBudgeted>();
+    case Kind::kScripted:
+      return std::make_unique<ScriptedAdversary>(spec.script);
+  }
+  return nullptr;
+}
+
+AdversaryRun::AdversaryRun(const AdversarySpec& spec, std::uint64_t run_seed)
+    : strategy_(MakeAdversary(spec)), obs_(spec.obs) {
+  if (strategy_ == nullptr) return;
+  ledger_ = BudgetLedger(spec.budget, spec.per_round_cap);
+  rng_ = support::RandomSource::ForStream(
+      AdvMasterSeed(run_seed, spec.adv_seed), kPlanStream);
+}
+
+std::span<const mac::ChannelId> AdversaryRun::PlanRound(
+    std::int64_t round, std::int32_t channels) {
+  jams_.clear();
+  if (strategy_ == nullptr) return {};
+  const std::int32_t allowance = ledger_.RoundAllowance(channels);
+  if (allowance <= 0) return {};
+  PlanContext ctx;
+  ctx.round = round;
+  ctx.channels = channels;
+  ctx.allowance = allowance;
+  ctx.last = last_obs_.valid() ? &last_obs_ : nullptr;
+  ctx.rng = &rng_;
+  strategy_->PlanJams(ctx, jams_);
+  CRMC_CHECK_MSG(static_cast<std::int32_t>(jams_.size()) <= allowance,
+                 "strategy " << strategy_->name() << " planned "
+                             << jams_.size() << " jams, allowance "
+                             << allowance);
+  for (std::size_t i = 0; i < jams_.size(); ++i) {
+    CRMC_CHECK_MSG(jams_[i] >= 1 && jams_[i] <= channels,
+                   "strategy " << strategy_->name()
+                               << " planned out-of-range channel "
+                               << jams_[i] << " of " << channels);
+    for (std::size_t j = 0; j < i; ++j) {
+      CRMC_CHECK_MSG(jams_[i] != jams_[j],
+                     "strategy " << strategy_->name()
+                                 << " planned duplicate channel "
+                                 << jams_[i]);
+    }
+  }
+  ledger_.Charge(static_cast<std::int32_t>(jams_.size()));
+  return jams_;
+}
+
+void AdversaryRun::ObserveRound(const mac::Resolver& resolver,
+                                std::int64_t round) {
+  if (!needs_observation()) return;
+  last_obs_.round = round;
+  last_obs_.sightings.clear();
+  for (const mac::ChannelId ch : resolver.touched_channels()) {
+    const std::int32_t tx = resolver.ActivityOf(ch).transmitters;
+    if (tx <= 0) continue;  // listener-only channels radiate nothing
+    last_obs_.sightings.push_back(
+        {ch, obs_ == ObsMode::kFull ? tx : -1});
+  }
+}
+
+}  // namespace crmc::adversary

@@ -43,6 +43,7 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
       config.record_active_counts = spec.record_active_counts;
       config.rng = spec.rng;
       config.faults = spec.faults;
+      config.adversary = spec.adversary;
       runs[static_cast<std::size_t>(t)] =
           batch ? batch_engine.Run(config, *program)
                 : sim::Engine::Run(config, protocol.coroutine);
@@ -62,6 +63,8 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
   for (const sim::RunResult& run : runs) {
     result.faults_injected += run.faults_injected;
     result.crashed_nodes += run.crashed_nodes;
+    result.adv_jams_spent += run.adv_jams_spent;
+    result.adv_jams_effective += run.adv_jams_effective;
     if (run.solved) {
       result.solved_rounds.push_back(run.solved_round + 1);
     } else {

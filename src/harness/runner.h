@@ -35,6 +35,10 @@ struct TrialSpec {
   support::RngKind rng = support::RngKind::kXoshiro;
   // Adversarial fault injection, forwarded to every trial's EngineConfig.
   mac::FaultSpec faults;
+  // Budgeted adaptive jamming adversary, likewise forwarded per trial (the
+  // trial seed doubles as the run seed, so every trial faces a fresh but
+  // reproducible jamming schedule).
+  adversary::AdversarySpec adversary;
 };
 
 // A protocol as the harness runs it: the coroutine factory (always present
@@ -66,6 +70,9 @@ struct TrialSetResult {
   // Fault-layer aggregates summed over every trial (solved or not).
   std::int64_t faults_injected = 0;
   std::int64_t crashed_nodes = 0;
+  // Adaptive-adversary aggregates, likewise summed over every trial.
+  std::int64_t adv_jams_spent = 0;
+  std::int64_t adv_jams_effective = 0;
   Summary summary;             // over solved_rounds only
   std::vector<sim::RunResult> runs;  // iff keep_runs was requested
 };

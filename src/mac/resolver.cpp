@@ -17,16 +17,23 @@ Resolver::Resolver(std::int32_t num_channels, CdModel cd_model)
 
 RoundSummary Resolver::Resolve(std::span<const Action> actions,
                                std::vector<Feedback>& feedback,
-                               FaultInjector* faults) {
+                               FaultInjector* faults,
+                               std::span<const ChannelId> adversary_jams) {
   // Clear only the channels dirtied last round: rounds usually touch a
-  // handful of channels even in huge networks.
+  // handful of channels even in huge networks. Adversary jams on untouched
+  // channels are tracked in adv_marked_ so their marks get cleared too.
   for (const ChannelId ch : touched_channels_) {
     activity_[static_cast<std::size_t>(ch)] = ChannelActivity{};
     channel_fault_[static_cast<std::size_t>(ch)] = ChannelFault::kClean;
   }
   touched_channels_.clear();
+  for (const ChannelId ch : adv_marked_) {
+    channel_fault_[static_cast<std::size_t>(ch)] = ChannelFault::kClean;
+  }
+  adv_marked_.clear();
 
   const bool inject = faults != nullptr && faults->active();
+  const bool adv = !adversary_jams.empty();
 
   RoundSummary summary;
   for (const Action& a : actions) {
@@ -49,11 +56,31 @@ RoundSummary Resolver::Resolve(std::span<const Action> actions,
   summary.primary_transmitters =
       activity_[static_cast<std::size_t>(kPrimaryChannel)].transmitters;
 
+  // The adaptive adversary's jams land before any oblivious draw: it spends
+  // budget with certainty, the fault layer only with probability. A jam is
+  // "effective" iff it suppressed a lone delivery.
+  if (adv) {
+    for (const ChannelId ch : adversary_jams) {
+      CRMC_CHECK_MSG(ch >= 1 && ch <= num_channels_,
+                     "adversary jammed channel " << ch << " of "
+                                                 << num_channels_);
+      ChannelFault& fault = channel_fault_[static_cast<std::size_t>(ch)];
+      CRMC_CHECK_MSG(fault == ChannelFault::kClean,
+                     "adversary jammed channel " << ch << " twice");
+      fault = ChannelFault::kJammed;
+      adv_marked_.push_back(ch);
+      ++summary.adv_jams;
+      if (activity_[static_cast<std::size_t>(ch)].transmitters == 1) {
+        ++summary.adv_jams_effective;
+      }
+    }
+  }
+
   // Pristine strong-CD rounds — the Monte-Carlo hot path — skip the fault
   // bookkeeping and the per-action fault/capability branches entirely. The
   // general loop below computes the identical feedback for this case; this
   // variant just hoists the conditions out of the per-action loop.
-  if (!inject && cd_model_ == CdModel::kStrong) {
+  if (!inject && !adv && cd_model_ == CdModel::kStrong) {
     for (const ChannelId ch : touched_channels_) {
       if (activity_[static_cast<std::size_t>(ch)].transmitters == 1) {
         ++summary.lone_deliveries;
@@ -89,6 +116,12 @@ RoundSummary Resolver::Resolve(std::span<const Action> actions,
   // order keeps the draw sequence a function of the action sequence alone.
   if (inject) {
     for (const ChannelId ch : touched_channels_) {
+      // The adversary got here first: no oblivious draw on this channel, so
+      // the fault draw sequence depends only on (actions, jam set).
+      if (channel_fault_[static_cast<std::size_t>(ch)] !=
+          ChannelFault::kClean) {
+        continue;
+      }
       const ChannelActivity& act = activity_[static_cast<std::size_t>(ch)];
       if (faults->DrawJam()) {
         channel_fault_[static_cast<std::size_t>(ch)] = ChannelFault::kJammed;

@@ -33,6 +33,13 @@ struct RoundSummary {
   // through. This — not primary_transmitters == 1 — is the solved
   // condition: a jammed or erased lone transmission resolves nothing.
   bool primary_lone_delivered = false;
+  // ---- Adaptive-adversary accounting (adversary/adversary.h) ----
+  // Budget the adversary spent this round (one unit per jammed channel).
+  std::int32_t adv_jams = 0;
+  // Of those, jams that actually suppressed a lone delivery (the jammed
+  // channel had exactly one transmitter). Spent-but-ineffective jams are
+  // the resource-competitive win the benchmarks measure.
+  std::int32_t adv_jams_effective = 0;
 };
 
 // Resolves one synchronous round. `actions[i]` is node i's decision;
@@ -54,9 +61,18 @@ class Resolver {
   // CdModel capability filter; fault draws happen in first-touched channel
   // order then action order, so identical action sequences yield identical
   // faults regardless of executor.
+  //
+  // `adversary_jams` is the adaptive adversary's jam set for this round
+  // (adversary/adversary.h): distinct channels in [1, num_channels], applied
+  // before any oblivious fault draw. Participants on a jammed channel
+  // observe kCollision and nothing is delivered there; the oblivious jam/
+  // erasure draws skip already-jammed channels, so the fault draw sequence
+  // stays a pure function of (actions, jam set) regardless of executor.
+  // Jamming an untouched channel spends budget but affects nobody.
   RoundSummary Resolve(std::span<const Action> actions,
                        std::vector<Feedback>& feedback,
-                       FaultInjector* faults = nullptr);
+                       FaultInjector* faults = nullptr,
+                       std::span<const ChannelId> adversary_jams = {});
 
   // Activity of a single channel in the most recent Resolve call. Intended
   // for tests and tracing.
@@ -76,6 +92,10 @@ class Resolver {
   std::vector<ChannelActivity> activity_;    // index 0 unused, 1..C
   std::vector<ChannelFault> channel_fault_;  // parallel to activity_
   std::vector<ChannelId> touched_channels_;  // channels dirtied this round
+  // Adversary-jammed channels this round. Tracked separately from
+  // touched_channels_ because the adversary may jam a channel no node
+  // touched — its fault mark must still be cleared next round.
+  std::vector<ChannelId> adv_marked_;
 };
 
 }  // namespace crmc::mac

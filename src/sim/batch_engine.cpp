@@ -39,9 +39,10 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
   }
 
   RunResult result;
-  mac::FaultInjector injector(config.faults, config.seed);
+  mac::FaultInjector injector(EffectiveFaultSpec(config), config.seed);
   mac::FaultInjector* const fault_ptr =
       injector.active() ? &injector : nullptr;
+  adversary::AdversaryRun adversary(config.adversary, config.seed);
   std::int64_t round = 0;
   std::int64_t stall_streak = 0;
   bool aborted = false;
@@ -50,10 +51,22 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
   // conditions are per-run constants, so the whole run takes one path —
   // except a program may decline a specific round (e.g. the general
   // algorithm's LeafElection stage), which falls through to the generic
-  // materialized round below.
+  // materialized round below. An observation-reading adversary pins the
+  // whole run to materialized rounds (FastRound never runs the resolver it
+  // would eavesdrop on).
   const bool fast_rounds = fused_rounds_enabled_ && !injector.active() &&
                            config.cd_model == mac::CdModel::kStrong &&
-                           !config.record_trace;
+                           !config.record_trace &&
+                           !adversary.needs_observation();
+  // FastRound implementations also lean on lockstep invariants ("survivors
+  // share identical bounds/phase") that only hold while every past round
+  // was pristine: a single jam can split previously-lockstep node states
+  // (one node sees a forced collision where its peer saw a clean delivery),
+  // and the programs do not re-verify the invariant per round. So the first
+  // materialized jam permanently pins the run to the generic path — an
+  // observation-free adversary with budget 0 (or one that never fires)
+  // still fuses every round.
+  bool adv_perturbed = false;
   while (!alive_.empty() && round < config.max_rounds) {
     // Crash-stop sweep, bit-exact with Engine::Run: one draw per alive node
     // in ascending node order at the start of the round.
@@ -71,7 +84,14 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
     }
     ctx.round = round;
 
-    if (fast_rounds) {
+    // Planned before the round resolves, from strictly earlier
+    // observations — same call point as Engine::Run, so strategy, ledger
+    // and RNG state advance in lockstep across executors.
+    const std::span<const mac::ChannelId> adv_jams =
+        adversary.PlanRound(round, config.channels);
+    adv_perturbed = adv_perturbed || !adv_jams.empty();
+
+    if (fast_rounds && !adv_perturbed) {
       finished_.assign(m, 0);
       FastRoundEffects fx;
       if (program.FastRound(ctx, alive_, node_tx_, finished_, &fx)) {
@@ -107,8 +127,11 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
     // Dense alive-only span: the resolver's sparse touched_channels path
     // makes this O(m), independent of num_active and C.
     const mac::RoundSummary summary =
-        resolver_->Resolve(actions_, feedback_, fault_ptr);
+        resolver_->Resolve(actions_, feedback_, fault_ptr, adv_jams);
+    adversary.ObserveRound(*resolver_, round);
     result.total_transmissions += summary.total_transmissions;
+    result.adv_jams_spent += summary.adv_jams;
+    result.adv_jams_effective += summary.adv_jams_effective;
     if (config.record_trace) {
       RoundTrace rt;
       rt.round = round;
@@ -136,7 +159,10 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
     try {
       program.Advance(ctx, alive_, actions_, feedback_, finished_);
     } catch (const support::ProtocolAssumptionViolation&) {
-      if (!injector.active()) throw;
+      // Same graceful-abort rule as Engine::Run: an active adversary layer
+      // (oblivious faults or adaptive jammer) legitimately breaks protocol
+      // model assumptions.
+      if (!injector.active() && !adversary.active()) throw;
       result.assumption_violated = true;
       aborted = true;
       break;

@@ -78,7 +78,33 @@ std::int64_t ValidateEngineConfig(const EngineConfig& config) {
                    "num_active " << config.num_active
                                  << " exceeds population " << population);
   config.faults.Validate();
+  config.adversary.Validate();
+  // One jamming source at a time: an adversary (reactive *or* oblivious)
+  // combined with an explicit jam_rate would silently double-jam — the
+  // oblivious_rate case would even draw twice from one stream. Distinct
+  // message, unit-tested.
+  CRMC_REQUIRE_MSG(
+      !config.adversary.Active() || config.faults.jam_rate == 0.0,
+      "conflicting fault configuration: --adversary "
+          << adversary::ToString(config.adversary.kind)
+          << " cannot be combined with an explicit --jam-rate "
+          << config.faults.jam_rate
+          << " (use --adversary-rate for oblivious_rate)");
+  for (const adversary::ScriptEntry& e : config.adversary.script) {
+    CRMC_REQUIRE_MSG(e.channel <= config.channels,
+                     "scripted adversary jams channel "
+                         << e.channel << " but the network has only "
+                         << config.channels << " channels");
+  }
   return population;
+}
+
+mac::FaultSpec EffectiveFaultSpec(const EngineConfig& config) {
+  mac::FaultSpec spec = config.faults;
+  if (config.adversary.kind == adversary::Kind::kObliviousRate) {
+    spec.jam_rate = config.adversary.rate;
+  }
+  return spec;
 }
 
 RunResult Engine::Run(const EngineConfig& config,
@@ -124,9 +150,10 @@ RunResult Engine::Run(const EngineConfig& config,
   }
 
   RunResult result;
-  mac::FaultInjector injector(config.faults, config.seed);
+  mac::FaultInjector injector(EffectiveFaultSpec(config), config.seed);
   mac::FaultInjector* const fault_ptr =
       injector.active() ? &injector : nullptr;
+  adversary::AdversaryRun adversary(config.adversary, config.seed);
   mac::Resolver resolver(config.channels, config.cd_model);
   std::vector<mac::Action> actions(
       static_cast<std::size_t>(config.num_active));
@@ -189,9 +216,17 @@ RunResult Engine::Run(const EngineConfig& config,
       }
     }
 
+    // Plan this round's adversary jams from rounds < round only (the
+    // observation recorded after the previous Resolve) — jamming is a bet
+    // on where activity will land, never a reaction to it.
+    const std::span<const mac::ChannelId> adv_jams =
+        adversary.PlanRound(round, config.channels);
     const mac::RoundSummary summary =
-        resolver.Resolve(actions, feedback, fault_ptr);
+        resolver.Resolve(actions, feedback, fault_ptr, adv_jams);
+    adversary.ObserveRound(resolver, round);
     result.total_transmissions += summary.total_transmissions;
+    result.adv_jams_spent += summary.adv_jams;
+    result.adv_jams_effective += summary.adv_jams_effective;
     if (config.record_trace) {
       RoundTrace rt;
       rt.round = round;
@@ -246,7 +281,10 @@ RunResult Engine::Run(const EngineConfig& config,
         }
       }
     } catch (const support::ProtocolAssumptionViolation&) {
-      if (!injector.active()) throw;
+      // Graceful abort only when some adversarial layer really did break
+      // the model guarantee the protocol checks — oblivious faults or an
+      // adaptive jammer. Otherwise it is a bug and must propagate.
+      if (!injector.active() && !adversary.active()) throw;
       result.assumption_violated = true;
       aborted = true;
       break;

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/adversary.h"
 #include "mac/channel.h"
 #include "mac/faults.h"
 #include "sim/node_context.h"
@@ -59,6 +60,13 @@ struct EngineConfig {
   // Adversarial fault injection (mac/faults.h). All rates default to zero,
   // in which case the run is bit-identical to one without a fault layer.
   mac::FaultSpec faults;
+  // Adaptive (budgeted, reactive) jamming adversary (adversary/adversary.h).
+  // kNone (the default) — and any budgeted kind with budget 0 — leaves the
+  // run bit-identical to one without the adversary layer. kObliviousRate is
+  // lowered onto the fault injector's jam stream (see EffectiveFaultSpec),
+  // so it is bit-identical to the equivalent faults.jam_rate run; combining
+  // an adversary with an explicit faults.jam_rate is a config error.
+  adversary::AdversarySpec adversary;
   // Core generator for the per-node (and ID-sampling) streams. kXoshiro
   // keeps the historical bit streams; kPhilox is counter-based and lets the
   // batch engine's SIMD kernels (src/simd/) vectorize the draws. Either
@@ -72,6 +80,14 @@ struct EngineConfig {
 // (population == 0 defaults to num_active). Shared by both engines so their
 // rejection behaviour cannot drift.
 std::int64_t ValidateEngineConfig(const EngineConfig& config);
+
+// The fault spec the injector actually runs: config.faults, with an
+// oblivious_rate adversary lowered onto jam_rate. Lowering — rather than
+// driving oblivious jams through AdversaryRun — keeps such runs bit-
+// identical to the equivalent --jam-rate runs (the resolver interleaves jam
+// and erasure draws on one stream; an external jam source could not
+// replicate that sequence). Shared by both engines.
+mac::FaultSpec EffectiveFaultSpec(const EngineConfig& config);
 
 // Instrumentation emitted by one node (only nodes that produced any).
 struct NodeReport {
@@ -110,6 +126,12 @@ struct RunResult {
   // Nodes removed by crash-stop failures (they never terminate, so
   // all_terminated is false whenever this is nonzero).
   std::int32_t crashed_nodes = 0;
+  // ---- Adaptive-adversary accounting (adversary/adversary.h) ----
+  // Budget the adversary spent (channel-rounds jammed) and how many of
+  // those jams suppressed a lone delivery. Zero for kNone and for
+  // kObliviousRate (whose jams land in jams_injected above instead).
+  std::int64_t adv_jams_spent = 0;
+  std::int64_t adv_jams_effective = 0;
   // Livelock watchdog: length of the trailing streak of rounds in which
   // nothing happened — no channel delivered a lone message and no node
   // terminated. A Las Vegas protocol fed corrupted feedback can spin

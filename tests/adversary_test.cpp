@@ -1,0 +1,608 @@
+// Tests for the budgeted adaptive-adversary subsystem (src/adversary/):
+// spec validation (including the jam-rate conflict bugfix), BudgetLedger
+// never overspending (property test), resolver-level jam semantics,
+// scripted replay determinism, zero-budget purity, oblivious_rate
+// equivalence, and batch-vs-coroutine parity under every strategy for both
+// RNG kinds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "adversary/budget.h"
+#include "adversary/observation.h"
+#include "core/general.h"
+#include "core/two_active.h"
+#include "mac/channel.h"
+#include "mac/resolver.h"
+#include "sim/batch_engine.h"
+#include "sim/engine.h"
+#include "sim/node_context.h"
+#include "sim/step_program.h"
+#include "sim/task.h"
+#include "support/rng.h"
+
+namespace crmc {
+namespace {
+
+using adversary::AdversaryRun;
+using adversary::AdversarySpec;
+using adversary::BudgetLedger;
+using adversary::Kind;
+using adversary::ObsMode;
+using adversary::ScriptEntry;
+using mac::Action;
+using mac::Feedback;
+using mac::Message;
+using mac::Resolver;
+using mac::RoundSummary;
+
+// --- parsing and validation ------------------------------------------------
+
+TEST(AdversarySpecTest, KindNamesRoundTrip) {
+  for (const Kind kind :
+       {Kind::kNone, Kind::kObliviousRate, Kind::kPrimaryCamper,
+        Kind::kGreedyReactive, Kind::kRandomBudgeted, Kind::kScripted}) {
+    const auto parsed = adversary::ParseAdversaryKind(adversary::ToString(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(adversary::ParseAdversaryKind("camper").has_value());
+  EXPECT_FALSE(adversary::ParseObsMode("both").has_value());
+  EXPECT_EQ(*adversary::ParseObsMode("activity"), ObsMode::kActivity);
+  EXPECT_EQ(*adversary::ParseObsMode("full"), ObsMode::kFull);
+}
+
+std::string ThrownMessage(const AdversarySpec& spec) {
+  try {
+    spec.Validate();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(AdversarySpecTest, DefaultIsInactiveAndValid) {
+  const AdversarySpec spec;
+  EXPECT_FALSE(spec.Active());
+  EXPECT_FALSE(spec.Budgeted());
+  EXPECT_NO_THROW(spec.Validate());
+}
+
+TEST(AdversarySpecTest, ValidateRejectsEachConstraintDistinctly) {
+  AdversarySpec spec;
+  spec.kind = Kind::kObliviousRate;
+  spec.rate = 1.5;
+  EXPECT_NE(ThrownMessage(spec).find("rate must be in [0, 1]"),
+            std::string::npos);
+  spec = AdversarySpec{};
+  spec.kind = Kind::kGreedyReactive;
+  spec.rate = 0.5;
+  EXPECT_NE(ThrownMessage(spec).find("only applies to --adversary"),
+            std::string::npos);
+  spec = AdversarySpec{};
+  spec.kind = Kind::kPrimaryCamper;
+  spec.budget = -1;
+  EXPECT_NE(ThrownMessage(spec).find("budget must be >= 0"),
+            std::string::npos);
+  spec = AdversarySpec{};
+  spec.kind = Kind::kObliviousRate;
+  spec.budget = 10;
+  EXPECT_NE(ThrownMessage(spec).find("budget only applies"),
+            std::string::npos);
+  spec = AdversarySpec{};
+  spec.kind = Kind::kRandomBudgeted;
+  spec.per_round_cap = 0;
+  EXPECT_NE(ThrownMessage(spec).find("cap must be >= 1"), std::string::npos);
+  spec = AdversarySpec{};
+  spec.kind = Kind::kPrimaryCamper;
+  spec.script.push_back({0, 1});
+  EXPECT_NE(ThrownMessage(spec).find("script only applies"),
+            std::string::npos);
+  spec = AdversarySpec{};
+  spec.kind = Kind::kScripted;
+  EXPECT_NE(ThrownMessage(spec).find("non-empty script"), std::string::npos);
+  spec.script.push_back({-1, 1});
+  EXPECT_NE(ThrownMessage(spec).find("round >= 0"), std::string::npos);
+}
+
+// The satellite bugfix: an adversary combined with an explicit jam_rate must
+// be a distinct hard error from ValidateEngineConfig, never silent
+// double-jamming.
+TEST(AdversarySpecTest, ObliviousRatePlusJamRateIsDistinctConfigError) {
+  sim::EngineConfig config;
+  config.num_active = 2;
+  config.adversary.kind = Kind::kObliviousRate;
+  config.adversary.rate = 0.1;
+  config.faults.jam_rate = 0.2;
+  try {
+    sim::ValidateEngineConfig(config);
+    FAIL() << "conflicting config must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("conflicting fault configuration"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("oblivious_rate"), std::string::npos) << what;
+    EXPECT_NE(what.find("--jam-rate"), std::string::npos) << what;
+  }
+}
+
+TEST(AdversarySpecTest, ReactiveAdversaryPlusJamRateAlsoConflicts) {
+  sim::EngineConfig config;
+  config.num_active = 2;
+  config.adversary.kind = Kind::kGreedyReactive;
+  config.adversary.budget = 5;
+  config.faults.jam_rate = 0.2;
+  EXPECT_THROW(sim::ValidateEngineConfig(config), std::invalid_argument);
+  // Other fault kinds compose fine with an adversary.
+  config.faults.jam_rate = 0.0;
+  config.faults.erasure_rate = 0.1;
+  config.faults.crash_rate = 0.01;
+  EXPECT_NO_THROW(sim::ValidateEngineConfig(config));
+}
+
+TEST(AdversarySpecTest, ScriptChannelBeyondNetworkRejected) {
+  sim::EngineConfig config;
+  config.num_active = 2;
+  config.channels = 4;
+  config.adversary.kind = Kind::kScripted;
+  config.adversary.budget = 1;
+  config.adversary.script.push_back({0, 9});
+  EXPECT_THROW(sim::ValidateEngineConfig(config), std::invalid_argument);
+  config.adversary.script.back().channel = 4;
+  EXPECT_NO_THROW(sim::ValidateEngineConfig(config));
+}
+
+// --- BudgetLedger ----------------------------------------------------------
+
+TEST(BudgetLedgerTest, AllowanceBindsOnCapRemainingAndChannels) {
+  BudgetLedger ledger(/*total=*/5, /*per_round_cap=*/3);
+  EXPECT_EQ(ledger.RoundAllowance(/*channels=*/8), 3);   // cap binds
+  EXPECT_EQ(ledger.RoundAllowance(/*channels=*/2), 2);   // channels bind
+  ledger.Charge(3);
+  EXPECT_EQ(ledger.spent(), 3);
+  EXPECT_EQ(ledger.RoundAllowance(8), 2);  // remaining budget binds
+  ledger.Charge(2);
+  EXPECT_EQ(ledger.remaining(), 0);
+  EXPECT_EQ(ledger.RoundAllowance(8), 0);
+}
+
+TEST(BudgetLedgerTest, ZeroBudgetLedgerGrantsNothing) {
+  const BudgetLedger ledger;
+  EXPECT_EQ(ledger.RoundAllowance(64), 0);
+  EXPECT_EQ(ledger.total(), 0);
+}
+
+// Property test: across thousands of randomized (strategy, budget, cap,
+// channels) configurations, the driver never lets a strategy overspend the
+// budget, exceed the per-round cap, or emit an invalid jam set.
+TEST(BudgetLedgerTest, DriverNeverOverspendsAcross2000Seeds) {
+  support::RandomSource meta(0xB0D6E7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    AdversarySpec spec;
+    const std::int64_t pick = meta.UniformInt(0, 3);
+    spec.kind = pick == 0   ? Kind::kPrimaryCamper
+                : pick == 1 ? Kind::kGreedyReactive
+                : pick == 2 ? Kind::kRandomBudgeted
+                            : Kind::kScripted;
+    spec.budget = meta.UniformInt(0, 40);
+    spec.per_round_cap = static_cast<std::int32_t>(meta.UniformInt(1, 6));
+    spec.adv_seed = static_cast<std::uint64_t>(trial);
+    const auto channels = static_cast<std::int32_t>(meta.UniformInt(1, 12));
+    if (spec.kind == Kind::kScripted) {
+      const std::int64_t entries = meta.UniformInt(1, 30);
+      for (std::int64_t e = 0; e < entries; ++e) {
+        spec.script.push_back(
+            {meta.UniformInt(0, 19),
+             static_cast<mac::ChannelId>(meta.UniformInt(1, channels))});
+      }
+    }
+    AdversaryRun run(spec, /*run_seed=*/0x5EED + trial);
+    ASSERT_TRUE(run.active());
+    std::int64_t total = 0;
+    for (std::int64_t round = 0; round < 20; ++round) {
+      const auto jams = run.PlanRound(round, channels);
+      ASSERT_LE(static_cast<std::int64_t>(jams.size()), spec.per_round_cap);
+      ASSERT_LE(static_cast<std::int32_t>(jams.size()), channels);
+      for (std::size_t i = 0; i < jams.size(); ++i) {
+        ASSERT_GE(jams[i], 1);
+        ASSERT_LE(jams[i], channels);
+        for (std::size_t j = 0; j < i; ++j) ASSERT_NE(jams[i], jams[j]);
+      }
+      total += static_cast<std::int64_t>(jams.size());
+      ASSERT_LE(total, spec.budget);
+      ASSERT_EQ(run.ledger().spent(), total);
+    }
+    // Once the budget is gone, every further round plans nothing.
+    if (run.ledger().remaining() == 0) {
+      EXPECT_TRUE(run.PlanRound(99, channels).empty());
+    }
+  }
+}
+
+// --- resolver-level jam semantics ------------------------------------------
+
+TEST(AdversaryResolver, JamForcesCollisionAndSuppressesLoneDelivery) {
+  Resolver r(4);
+  std::vector<Feedback> fb;
+  const std::vector<mac::ChannelId> jams{1};
+  const RoundSummary s = r.Resolve(
+      std::vector<Action>{Action::Transmit(1, Message{5}), Action::Listen(1),
+                          Action::Transmit(2, Message{7})},
+      fb, nullptr, jams);
+  EXPECT_TRUE(fb[0].Collision());  // lone transmitter drowned by the jam
+  EXPECT_TRUE(fb[1].Collision());
+  EXPECT_TRUE(fb[2].MessageHeard());  // channel 2 untouched by the jam
+  EXPECT_EQ(s.primary_transmitters, 1);
+  EXPECT_FALSE(s.primary_lone_delivered);
+  EXPECT_EQ(s.lone_deliveries, 1);  // channel 2 only
+  EXPECT_EQ(s.adv_jams, 1);
+  EXPECT_EQ(s.adv_jams_effective, 1);
+}
+
+TEST(AdversaryResolver, JamOnCollisionOrEmptyChannelSpendsWithoutEffect) {
+  Resolver r(4);
+  std::vector<Feedback> fb;
+  const std::vector<mac::ChannelId> jams{2, 3};  // 2: collision, 3: empty
+  const RoundSummary s = r.Resolve(
+      std::vector<Action>{Action::Transmit(1, Message{5}),
+                          Action::Transmit(2), Action::Transmit(2)},
+      fb, nullptr, jams);
+  EXPECT_TRUE(fb[0].MessageHeard());  // primary unaffected
+  EXPECT_TRUE(fb[1].Collision());
+  EXPECT_TRUE(fb[2].Collision());
+  EXPECT_TRUE(s.primary_lone_delivered);
+  EXPECT_EQ(s.adv_jams, 2);
+  EXPECT_EQ(s.adv_jams_effective, 0);  // neither jam met a lone transmitter
+}
+
+TEST(AdversaryResolver, JamMarkOnUntouchedChannelClearsNextRound) {
+  Resolver r(4);
+  std::vector<Feedback> fb;
+  // Round 1: jam channel 3, which nobody touches.
+  r.Resolve(std::vector<Action>{Action::Transmit(1, Message{1})}, fb, nullptr,
+            std::vector<mac::ChannelId>{3});
+  // Round 2: a lone transmission on channel 3 must deliver — the stale jam
+  // mark may not leak across rounds.
+  const RoundSummary s = r.Resolve(
+      std::vector<Action>{Action::Transmit(3, Message{9}), Action::Listen(3)},
+      fb);
+  EXPECT_TRUE(fb[0].MessageHeard());
+  EXPECT_TRUE(fb[1].MessageHeard());
+  EXPECT_EQ(s.lone_deliveries, 1);
+  EXPECT_EQ(s.adv_jams, 0);
+}
+
+TEST(AdversaryResolver, ObliviousDrawsSkipAdversaryJammedChannels) {
+  // erasure_rate 1 would erase every lone delivery; on the adversary-jammed
+  // channel no oblivious draw happens at all, so the feedback is the jam's
+  // collision, not an erasure's silence — and the fault counters stay 0 for
+  // that channel.
+  mac::FaultSpec spec;
+  spec.erasure_rate = 1.0;
+  mac::FaultInjector inj(spec, /*run_seed=*/1);
+  Resolver r(4);
+  std::vector<Feedback> fb;
+  const RoundSummary s = r.Resolve(
+      std::vector<Action>{Action::Transmit(1, Message{5}),
+                          Action::Transmit(2, Message{6})},
+      fb, &inj, std::vector<mac::ChannelId>{1});
+  EXPECT_TRUE(fb[0].Collision());        // adversary jam, not erasure
+  EXPECT_TRUE(fb[1].Silence());          // oblivious erasure still fires
+  EXPECT_EQ(inj.counters().erasures, 1);  // channel 2 only
+  EXPECT_EQ(s.adv_jams_effective, 1);
+  EXPECT_EQ(s.lone_deliveries, 0);
+}
+
+// --- engine-level semantics ------------------------------------------------
+
+sim::Task<void> TransmitPrimaryForever(sim::NodeContext& ctx) {
+  for (;;) co_await ctx.Transmit(mac::kPrimaryChannel);
+}
+
+sim::EngineConfig OneForeverConfig(std::int64_t max_rounds) {
+  sim::EngineConfig config;
+  config.population = 8;
+  config.num_active = 1;
+  config.channels = 4;
+  config.max_rounds = max_rounds;
+  config.seed = 42;
+  return config;
+}
+
+TEST(AdversaryEngine, ScriptedJamDelaysSolveByExactlyItsRounds) {
+  // One lone transmitter solves in round 0 pristine; a scripted jam on the
+  // primary channel in rounds 0 and 1 pushes the solve to round 2.
+  sim::EngineConfig config = OneForeverConfig(10);
+  config.adversary.kind = Kind::kScripted;
+  config.adversary.budget = 2;
+  config.adversary.script = {{0, 1}, {1, 1}};
+  const sim::RunResult r = sim::Engine::Run(config, [](sim::NodeContext& ctx) {
+    return TransmitPrimaryForever(ctx);
+  });
+  EXPECT_TRUE(r.solved);
+  EXPECT_EQ(r.solved_round, 2);
+  EXPECT_EQ(r.adv_jams_spent, 2);
+  EXPECT_EQ(r.adv_jams_effective, 2);
+}
+
+TEST(AdversaryEngine, ScriptedJamOnIdleChannelIsSpentButIneffective) {
+  sim::EngineConfig config = OneForeverConfig(10);
+  config.adversary.kind = Kind::kScripted;
+  config.adversary.budget = 1;
+  config.adversary.script = {{0, 3}};  // nobody transmits on channel 3
+  const sim::RunResult r = sim::Engine::Run(config, [](sim::NodeContext& ctx) {
+    return TransmitPrimaryForever(ctx);
+  });
+  EXPECT_TRUE(r.solved);
+  EXPECT_EQ(r.solved_round, 0);
+  EXPECT_EQ(r.adv_jams_spent, 1);
+  EXPECT_EQ(r.adv_jams_effective, 0);
+}
+
+TEST(AdversaryEngine, BudgetTruncatesScript) {
+  sim::EngineConfig config = OneForeverConfig(10);
+  config.adversary.kind = Kind::kScripted;
+  config.adversary.budget = 1;  // script asks for 2 jams; only 1 affordable
+  config.adversary.script = {{0, 1}, {1, 1}};
+  const sim::RunResult r = sim::Engine::Run(config, [](sim::NodeContext& ctx) {
+    return TransmitPrimaryForever(ctx);
+  });
+  EXPECT_EQ(r.solved_round, 1);
+  EXPECT_EQ(r.adv_jams_spent, 1);
+}
+
+TEST(AdversaryEngine, PrimaryCamperHoldsTheSolveChannelWhileBudgetLasts) {
+  sim::EngineConfig config = OneForeverConfig(20);
+  config.adversary.kind = Kind::kPrimaryCamper;
+  config.adversary.budget = 7;
+  const sim::RunResult r = sim::Engine::Run(config, [](sim::NodeContext& ctx) {
+    return TransmitPrimaryForever(ctx);
+  });
+  EXPECT_EQ(r.solved_round, 7);  // exactly budget-many suppressed rounds
+  EXPECT_EQ(r.adv_jams_spent, 7);
+  EXPECT_EQ(r.adv_jams_effective, 7);
+}
+
+// --- determinism and purity ------------------------------------------------
+
+void ExpectIdenticalRuns(const sim::RunResult& a, const sim::RunResult& b) {
+  EXPECT_EQ(a.solved, b.solved);
+  EXPECT_EQ(a.solved_round, b.solved_round);
+  EXPECT_EQ(a.all_solved_rounds, b.all_solved_rounds);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.all_terminated, b.all_terminated);
+  EXPECT_EQ(a.total_transmissions, b.total_transmissions);
+  EXPECT_EQ(a.max_node_transmissions, b.max_node_transmissions);
+  EXPECT_DOUBLE_EQ(a.mean_node_transmissions, b.mean_node_transmissions);
+  EXPECT_EQ(a.jams_injected, b.jams_injected);
+  EXPECT_EQ(a.erasures_injected, b.erasures_injected);
+  EXPECT_EQ(a.cd_flips_injected, b.cd_flips_injected);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
+  EXPECT_EQ(a.adv_jams_spent, b.adv_jams_spent);
+  EXPECT_EQ(a.adv_jams_effective, b.adv_jams_effective);
+  EXPECT_EQ(a.stall_rounds, b.stall_rounds);
+  EXPECT_EQ(a.wedged, b.wedged);
+  EXPECT_EQ(a.assumption_violated, b.assumption_violated);
+}
+
+TEST(AdversaryEngine, ScriptedReplayIsDeterministic) {
+  sim::EngineConfig config;
+  config.population = 1024;
+  config.num_active = 16;
+  config.channels = 8;
+  config.max_rounds = 200;
+  config.seed = 77;
+  config.adversary.kind = Kind::kScripted;
+  config.adversary.budget = 6;
+  config.adversary.per_round_cap = 2;
+  config.adversary.script = {{0, 1}, {0, 2}, {3, 1}, {5, 4}, {7, 1}, {9, 2}};
+  const auto factory = core::MakeGeneral();
+  const sim::RunResult first = sim::Engine::Run(config, factory);
+  const sim::RunResult second = sim::Engine::Run(config, factory);
+  ExpectIdenticalRuns(first, second);
+  EXPECT_GT(first.adv_jams_spent, 0);
+}
+
+TEST(AdversaryEngine, ZeroBudgetIsBitIdenticalToPristine) {
+  // A budgeted adversary with nothing to spend must leave no trace — the
+  // run is bit-identical to one without the adversary layer, coroutine and
+  // batch engines alike.
+  sim::EngineConfig pristine;
+  pristine.population = 1 << 12;
+  pristine.num_active = 32;
+  pristine.channels = 16;
+  pristine.max_rounds = 2000;
+  pristine.record_trace = true;
+  for (const Kind kind :
+       {Kind::kPrimaryCamper, Kind::kGreedyReactive, Kind::kRandomBudgeted}) {
+    for (std::uint64_t seed = 900; seed < 910; ++seed) {
+      pristine.seed = seed;
+      sim::EngineConfig adv = pristine;
+      adv.adversary.kind = kind;
+      adv.adversary.budget = 0;
+      const auto factory = core::MakeGeneral();
+      const sim::RunResult base = sim::Engine::Run(pristine, factory);
+      const sim::RunResult guarded = sim::Engine::Run(adv, factory);
+      ExpectIdenticalRuns(base, guarded);
+      ASSERT_EQ(base.trace.size(), guarded.trace.size());
+      EXPECT_EQ(guarded.adv_jams_spent, 0);
+    }
+  }
+}
+
+TEST(AdversaryEngine, ObliviousRateIsBitIdenticalToJamRate) {
+  sim::EngineConfig jammed;
+  jammed.population = 1 << 12;
+  jammed.num_active = 32;
+  jammed.channels = 16;
+  jammed.max_rounds = 2000;
+  jammed.faults.jam_rate = 0.08;
+  jammed.faults.fault_seed = 5;
+  sim::EngineConfig lowered = jammed;
+  lowered.faults.jam_rate = 0.0;
+  lowered.adversary.kind = Kind::kObliviousRate;
+  lowered.adversary.rate = 0.08;
+  const auto factory = core::MakeGeneral();
+  for (std::uint64_t seed = 300; seed < 320; ++seed) {
+    jammed.seed = seed;
+    lowered.seed = seed;
+    const sim::RunResult a = sim::Engine::Run(jammed, factory);
+    const sim::RunResult b = sim::Engine::Run(lowered, factory);
+    ExpectIdenticalRuns(a, b);
+    EXPECT_EQ(b.adv_jams_spent, 0);  // oblivious jams land in jams_injected
+  }
+}
+
+TEST(AdversaryEngine, AdvSeedSelectsADifferentSchedule) {
+  sim::EngineConfig config;
+  config.population = 1 << 10;
+  config.num_active = 2;
+  config.channels = 8;
+  config.max_rounds = 400;
+  config.seed = 11;
+  config.adversary.kind = Kind::kRandomBudgeted;
+  config.adversary.budget = 64;
+  config.adversary.per_round_cap = 4;
+  const auto factory = core::MakeTwoActive();
+  config.adversary.adv_seed = 1;
+  const sim::RunResult a = sim::Engine::Run(config, factory);
+  config.adversary.adv_seed = 2;
+  const sim::RunResult b = sim::Engine::Run(config, factory);
+  // Same protocol randomness, different jamming schedule: some observable
+  // difference must appear across a handful of statistics.
+  EXPECT_TRUE(a.solved_round != b.solved_round ||
+              a.total_transmissions != b.total_transmissions ||
+              a.adv_jams_effective != b.adv_jams_effective);
+}
+
+// --- batch-vs-coroutine parity under every strategy ------------------------
+
+void CheckAdversaryParity(sim::EngineConfig config,
+                          const sim::ProtocolFactory& coroutine,
+                          sim::StepProgram& program, int seeds,
+                          std::uint64_t seed_base = 41'000) {
+  sim::BatchEngine engine;
+  for (int t = 0; t < seeds; ++t) {
+    config.seed = seed_base + static_cast<std::uint64_t>(t);
+    const sim::RunResult coro = sim::Engine::Run(config, coroutine);
+    const sim::RunResult batch = engine.Run(config, program);
+    SCOPED_TRACE(::testing::Message() << "seed=" << config.seed);
+    ExpectIdenticalRuns(coro, batch);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+AdversarySpec StrategySpec(Kind kind) {
+  AdversarySpec spec;
+  spec.kind = kind;
+  spec.budget = 24;
+  spec.per_round_cap = kind == Kind::kPrimaryCamper ? 1 : 3;
+  return spec;
+}
+
+sim::EngineConfig TwoActiveConfig(support::RngKind rng) {
+  sim::EngineConfig config;
+  config.population = 256;
+  config.num_active = 2;
+  config.channels = 16;
+  config.max_rounds = 4000;
+  config.rng = rng;
+  return config;
+}
+
+sim::EngineConfig GeneralConfig(support::RngKind rng) {
+  sim::EngineConfig config;
+  config.population = 1024;
+  config.num_active = 64;
+  config.channels = 64;
+  config.max_rounds = 4000;
+  config.rng = rng;
+  return config;
+}
+
+TEST(AdversaryParity, TwoActiveCamper2000Seeds) {
+  sim::EngineConfig config = TwoActiveConfig(support::RngKind::kXoshiro);
+  config.adversary = StrategySpec(Kind::kPrimaryCamper);
+  auto program = sim::MakeTwoActiveProgram();
+  CheckAdversaryParity(config, core::MakeTwoActive(), *program, 2000);
+}
+
+TEST(AdversaryParity, TwoActiveGreedy2000Seeds) {
+  sim::EngineConfig config = TwoActiveConfig(support::RngKind::kXoshiro);
+  config.adversary = StrategySpec(Kind::kGreedyReactive);
+  auto program = sim::MakeTwoActiveProgram();
+  CheckAdversaryParity(config, core::MakeTwoActive(), *program, 2000);
+}
+
+TEST(AdversaryParity, TwoActiveRandom2000Seeds) {
+  sim::EngineConfig config = TwoActiveConfig(support::RngKind::kXoshiro);
+  config.adversary = StrategySpec(Kind::kRandomBudgeted);
+  auto program = sim::MakeTwoActiveProgram();
+  CheckAdversaryParity(config, core::MakeTwoActive(), *program, 2000);
+}
+
+TEST(AdversaryParity, TwoActiveAllStrategiesPhilox) {
+  for (const Kind kind :
+       {Kind::kPrimaryCamper, Kind::kGreedyReactive, Kind::kRandomBudgeted}) {
+    sim::EngineConfig config = TwoActiveConfig(support::RngKind::kPhilox);
+    config.adversary = StrategySpec(kind);
+    auto program = sim::MakeTwoActiveProgram();
+    CheckAdversaryParity(config, core::MakeTwoActive(), *program, 700);
+  }
+}
+
+TEST(AdversaryParity, GeneralAllStrategiesBothRngKinds) {
+  for (const support::RngKind rng :
+       {support::RngKind::kXoshiro, support::RngKind::kPhilox}) {
+    for (const Kind kind : {Kind::kPrimaryCamper, Kind::kGreedyReactive,
+                            Kind::kRandomBudgeted}) {
+      sim::EngineConfig config = GeneralConfig(rng);
+      config.adversary = StrategySpec(kind);
+      auto program = sim::MakeGeneralProgram();
+      CheckAdversaryParity(config, core::MakeGeneral(), *program, 150);
+    }
+  }
+}
+
+TEST(AdversaryParity, GeneralActivityObservationGreedy) {
+  sim::EngineConfig config = GeneralConfig(support::RngKind::kXoshiro);
+  config.adversary = StrategySpec(Kind::kGreedyReactive);
+  config.adversary.obs = ObsMode::kActivity;
+  auto program = sim::MakeGeneralProgram();
+  CheckAdversaryParity(config, core::MakeGeneral(), *program, 200);
+}
+
+TEST(AdversaryParity, GreedyComposedWithObliviousFaults) {
+  // The adversary must stay bit-exact when layered on top of the PR 2 fault
+  // machinery (erasures, flaky CD, crashes — everything except jam_rate,
+  // which conflicts by design).
+  sim::EngineConfig config = GeneralConfig(support::RngKind::kXoshiro);
+  config.adversary = StrategySpec(Kind::kGreedyReactive);
+  config.faults.erasure_rate = 0.02;
+  config.faults.flaky_cd_rate = 0.01;
+  config.faults.crash_rate = 0.001;
+  config.faults.fault_seed = 3;
+  auto program = sim::MakeGeneralProgram();
+  CheckAdversaryParity(config, core::MakeGeneral(), *program, 200);
+}
+
+TEST(AdversaryParity, ScriptedParityTwoActive) {
+  sim::EngineConfig config = TwoActiveConfig(support::RngKind::kXoshiro);
+  config.adversary.kind = Kind::kScripted;
+  config.adversary.budget = 8;
+  config.adversary.per_round_cap = 2;
+  config.adversary.script = {{0, 1}, {1, 2}, {2, 1}, {2, 3},
+                             {4, 1}, {6, 5}, {8, 1}, {9, 2}};
+  auto program = sim::MakeTwoActiveProgram();
+  CheckAdversaryParity(config, core::MakeTwoActive(), *program, 500);
+}
+
+}  // namespace
+}  // namespace crmc

@@ -29,6 +29,15 @@ Supports three schemas, dispatched on the artifact's "schema" field:
       (tolerance --monotone-tolerance, default 0.05, for sampling noise).
       --baseline is not meaningful for this schema (usage error).
 
+  crmc.bench_adversary.v1   adaptive-adversary degradation grid
+      (bench_adversary --json). Validates the schema (strategy/obs names,
+      budget accounting: spent jams bounded by budget * trials, effective
+      jams bounded by spent), cross-checks the failure breakdown
+      (timed_out + aborted + silent_failures == unsolved), and enforces
+      budget-axis monotonicity: within each (protocol, strategy, obs, cap)
+      group, success_rate must be non-increasing as budget_fraction rises
+      (same --monotone-tolerance). --baseline is a usage error here too.
+
 Self-test: check_bench_json.py --self-test runs the validators against
 in-memory good/bad documents; wired into ctest so the checker itself is
 under test.
@@ -43,6 +52,10 @@ import sys
 ENGINE_SCHEMA = "crmc.bench_engine.v1"
 ENGINE_SCHEMA_V2 = "crmc.bench_engine.v2"
 FAULTS_SCHEMA = "crmc.bench_faults.v1"
+ADVERSARY_SCHEMA = "crmc.bench_adversary.v1"
+ADVERSARY_STRATEGIES = ("oblivious_rate", "primary_camper", "greedy_reactive",
+                        "random_budgeted", "scripted")
+ADVERSARY_OBS_MODES = ("full", "activity")
 METADATA_KEYS = ("cpu", "compiler", "dispatch", "rng")
 ENGINE_METRICS = ("seconds", "trials_per_sec", "rounds_per_sec",
                   "node_rounds_per_sec")
@@ -202,6 +215,95 @@ def validate_faults(doc, path):
     return points
 
 
+def validate_adversary(doc, path):
+    """Checks the crmc.bench_adversary.v1 schema; returns the points list."""
+    points = _check_points_container(doc, path)
+    for i, p in enumerate(points):
+        where = f"{path}: points[{i}]"
+        if not isinstance(p, dict):
+            fail(f"{where}: must be an object")
+        if not isinstance(p.get("protocol"), str) or not p["protocol"]:
+            fail(f"{where}: 'protocol' must be a non-empty string")
+        for key in ("population", "num_active", "channels", "trials",
+                    "max_rounds"):
+            _check_positive_int(p, key, where)
+        adv = p.get("adversary")
+        if not isinstance(adv, dict):
+            fail(f"{where}: 'adversary' must be an object")
+        strategy = adv.get("strategy")
+        if strategy not in ADVERSARY_STRATEGIES:
+            fail(f"{where}: adversary.strategy {strategy!r} not one of "
+                 f"{ADVERSARY_STRATEGIES}")
+        if adv.get("obs") not in ADVERSARY_OBS_MODES:
+            fail(f"{where}: adversary.obs {adv.get('obs')!r} not one of "
+                 f"{ADVERSARY_OBS_MODES}")
+        budget = _check_count(adv, "budget", f"{where}: adversary")
+        _check_number(adv, "budget_fraction", f"{where}: adversary",
+                      lo=0.0, hi=1.0)
+        _check_positive_int(adv, "per_round_cap", f"{where}: adversary")
+        _check_number(adv, "rate", f"{where}: adversary", lo=0.0, hi=1.0)
+        solved = _check_count(p, "solved", where)
+        unsolved = _check_count(p, "unsolved", where)
+        timed_out = _check_count(p, "timed_out", where)
+        aborted = _check_count(p, "aborted", where)
+        wedged = _check_count(p, "wedged", where)
+        silent = _check_count(p, "silent_failures", where)
+        spent = _check_count(p, "adv_jams_spent", where)
+        effective = _check_count(p, "adv_jams_effective", where)
+        trials = p["trials"]
+        if solved + unsolved != trials:
+            fail(f"{where}: solved {solved} + unsolved {unsolved} "
+                 f"!= trials {trials}")
+        if timed_out + aborted + silent != unsolved:
+            fail(f"{where}: timed_out {timed_out} + aborted {aborted} + "
+                 f"silent_failures {silent} != unsolved {unsolved}")
+        if wedged > timed_out:
+            fail(f"{where}: wedged {wedged} > timed_out {timed_out}")
+        if effective > spent:
+            fail(f"{where}: adv_jams_effective {effective} > "
+                 f"adv_jams_spent {spent}")
+        if strategy != "oblivious_rate" and spent > budget * trials:
+            fail(f"{where}: adv_jams_spent {spent} exceeds the aggregate "
+                 f"budget {budget} * {trials} trials")
+        rate = _check_number(p, "success_rate", where, lo=0.0, hi=1.0)
+        if abs(rate - solved / trials) > 1e-9:
+            fail(f"{where}: success_rate {rate} != solved/trials "
+                 f"{solved / trials}")
+        _check_number(p, "mean_solved_rounds", where, lo=0)
+        _check_number(p, "round_inflation", where, lo=0)
+    return points
+
+
+def check_budget_monotonicity(points, tolerance):
+    """success_rate must not rise with budget_fraction, all else equal.
+
+    Groups points by (protocol grid key, max_rounds, strategy, obs, cap)
+    and sorts each group on budget_fraction (which doubles as the jam rate
+    for oblivious_rate points). More budget can only hurt the protocol, so
+    an adjacent rise beyond the tolerance is a bench or subsystem bug.
+    """
+    groups = {}
+    for p in points:
+        a = p["adversary"]
+        key = (tuple(p[k] for k in POINT_KEYS), p["max_rounds"],
+               a["strategy"], a["obs"], a["per_round_cap"])
+        groups.setdefault(key, []).append(p)
+    checked = 0
+    for key, group in groups.items():
+        group.sort(key=lambda p: p["adversary"]["budget_fraction"])
+        for prev, cur in zip(group, group[1:]):
+            checked += 1
+            if cur["success_rate"] > prev["success_rate"] + tolerance:
+                fail(f"{cur['protocol']} {cur['adversary']['strategy']}: "
+                     f"success_rate rose from {prev['success_rate']:.3f} "
+                     f"(budget_fraction "
+                     f"{prev['adversary']['budget_fraction']}) to "
+                     f"{cur['success_rate']:.3f} (budget_fraction "
+                     f"{cur['adversary']['budget_fraction']}), tolerance "
+                     f"{tolerance}")
+    return checked
+
+
 def check_jam_monotonicity(points, tolerance):
     """success_rate must not rise with jam_rate, all else equal."""
     groups = {}
@@ -297,9 +399,20 @@ def run_checks(args):
         print(f"{args.artifact}: schema ok, {len(points)} fault points")
         checked = check_jam_monotonicity(points, args.monotone_tolerance)
         print(f"jam-axis monotonicity ok across {checked} adjacent pairs")
+    elif schema == ADVERSARY_SCHEMA:
+        if args.baseline:
+            print(f"--baseline is not supported for {ADVERSARY_SCHEMA} "
+                  "(outcomes are deterministic; no timing to gate)",
+                  file=sys.stderr)
+            sys.exit(2)
+        points = validate_adversary(doc, args.artifact)
+        print(f"{args.artifact}: schema ok, {len(points)} adversary points")
+        checked = check_budget_monotonicity(points, args.monotone_tolerance)
+        print(f"budget-axis monotonicity ok across {checked} adjacent pairs")
     else:
         fail(f"{args.artifact}: schema is {schema!r}, expected "
-             f"{ENGINE_SCHEMA!r}, {ENGINE_SCHEMA_V2!r} or {FAULTS_SCHEMA!r}")
+             f"{ENGINE_SCHEMA!r}, {ENGINE_SCHEMA_V2!r}, {FAULTS_SCHEMA!r} "
+             f"or {ADVERSARY_SCHEMA!r}")
     print("check_bench_json: OK")
 
 
@@ -333,6 +446,28 @@ def _faults_point(jam=0.0, success=1.0, trials=100, **overrides):
         "timed_out": trials - solved, "aborted": 0, "wedged": 0,
         "success_rate": solved / trials, "mean_solved_rounds": 10.0,
         "round_inflation": 1.0, "faults_injected": 0, "crashed_nodes": 0,
+    }
+    p.update(overrides)
+    return p
+
+
+def _adversary_point(strategy="primary_camper", fraction=0.0, success=1.0,
+                     trials=100, budget=None, **overrides):
+    solved = round(success * trials)
+    if budget is None:
+        budget = round(fraction * 2000 * 2)
+    p = {
+        "protocol": "general", "population": 4096, "num_active": 256,
+        "channels": 32, "trials": trials, "max_rounds": 2000,
+        "adversary": {"strategy": strategy, "obs": "full", "budget": budget,
+                      "budget_fraction": fraction, "per_round_cap": 2,
+                      "rate": 0.0},
+        "solved": solved, "unsolved": trials - solved,
+        "timed_out": trials - solved, "aborted": 0, "wedged": 0,
+        "silent_failures": 0, "success_rate": solved / trials,
+        "mean_solved_rounds": 10.0, "round_inflation": 1.0,
+        "adv_jams_spent": min(budget, 5) * trials,
+        "adv_jams_effective": 0,
     }
     p.update(overrides)
     return p
@@ -411,6 +546,35 @@ def self_test():
         engines={name: {"seconds": 1.0, "trials_per_sec": 200.0,
                         "rounds_per_sec": 1000.0, "node_rounds_per_sec": 1e6}
                  for name in ("coroutine", "batch")})])
+    adversary_doc = {
+        "schema": ADVERSARY_SCHEMA,
+        "points": [_adversary_point(fraction=0.0, success=1.0),
+                   _adversary_point(fraction=0.25, success=0.6),
+                   _adversary_point(fraction=1.0, success=0.1)],
+    }
+    adv_rising = {
+        "schema": ADVERSARY_SCHEMA,
+        "points": [_adversary_point(fraction=0.25, success=0.4),
+                   _adversary_point(fraction=1.0, success=0.9)],
+    }
+    adv_bad_strategy = {
+        "schema": ADVERSARY_SCHEMA,
+        "points": [_adversary_point(strategy="camper")],
+    }
+    adv_overspent = {
+        "schema": ADVERSARY_SCHEMA,
+        "points": [_adversary_point(fraction=0.25, budget=3,
+                                    adv_jams_spent=400)],
+    }
+    adv_bad_breakdown = {
+        "schema": ADVERSARY_SCHEMA,
+        "points": [_adversary_point(fraction=0.25, success=0.5,
+                                    silent_failures=10)],
+    }
+    adv_bad_effective = {
+        "schema": ADVERSARY_SCHEMA,
+        "points": [_adversary_point(fraction=0.25, adv_jams_effective=9999)],
+    }
     checks = [
         _expect_ok("engine schema accepts a valid doc",
                    lambda: validate_engine(engine_doc, "mem")),
@@ -461,6 +625,27 @@ def self_test():
         _expect_fail("faults schema rejects a wrong success_rate",
                      lambda: validate_faults(bad_success, "mem"),
                      "success_rate"),
+        _expect_ok("adversary schema accepts a valid doc",
+                   lambda: validate_adversary(adversary_doc, "mem")),
+        _expect_ok("budget monotone check accepts a falling curve",
+                   lambda: check_budget_monotonicity(
+                       adversary_doc["points"], 0.05)),
+        _expect_fail("budget monotone check rejects a rising curve",
+                     lambda: check_budget_monotonicity(
+                         adv_rising["points"], 0.05),
+                     "success_rate rose"),
+        _expect_fail("adversary schema rejects an unknown strategy",
+                     lambda: validate_adversary(adv_bad_strategy, "mem"),
+                     "adversary.strategy"),
+        _expect_fail("adversary schema rejects an overspent budget",
+                     lambda: validate_adversary(adv_overspent, "mem"),
+                     "exceeds the aggregate budget"),
+        _expect_fail("adversary schema rejects a broken failure breakdown",
+                     lambda: validate_adversary(adv_bad_breakdown, "mem"),
+                     "!= unsolved"),
+        _expect_fail("adversary schema rejects effective > spent",
+                     lambda: validate_adversary(adv_bad_effective, "mem"),
+                     "adv_jams_effective"),
     ]
     if not all(checks):
         print("check_bench_json: self-test FAILED", file=sys.stderr)

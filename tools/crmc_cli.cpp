@@ -5,6 +5,9 @@
 //              [--trace] [--run-to-completion]
 //              [--jam-rate P] [--erasure-rate P] [--flaky-cd P]
 //              [--crash-rate P] [--fault-seed S]
+//              [--adversary NAME] [--adversary-budget B] [--adversary-cap K]
+//              [--adversary-obs activity|full] [--adversary-rate P]
+//              [--adversary-seed S]
 //   crmc race  [--active 2] [--population N] [--channels C] [--trials 200]
 //   crmc sweep --vary channels --values 2,8,32,128,512
 //              [--algo general] [--active 4096] [--population N]
@@ -20,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/adversary.h"
 #include "core/estimation.h"
 #include "core/k_selection.h"
 #include "harness/flags.h"
@@ -54,7 +58,15 @@ using namespace crmc;
       "run flags:    --algo NAME  --cd strong|receiver|none  --trace\n"
       "              --run-to-completion  --rng xoshiro|philox\n"
       "              --jam-rate P --erasure-rate P --flaky-cd P\n"
-      "              --crash-rate P --fault-seed S   (adversarial faults)\n"
+      "              --crash-rate P --fault-seed S   (oblivious faults)\n"
+      "adversary flags (run/race/sweep — budgeted reactive jamming):\n"
+      "              --adversary none|oblivious_rate|primary_camper|\n"
+      "                          greedy_reactive|random_budgeted\n"
+      "              --adversary-budget B (total channel-rounds)\n"
+      "              --adversary-cap K    (max channels jammed per round)\n"
+      "              --adversary-obs activity|full (eavesdropping strength)\n"
+      "              --adversary-rate P   (oblivious_rate only)\n"
+      "              --adversary-seed S   (selects the jamming schedule)\n"
       "sweep flags:  --algo NAME --vary channels|active --values a,b,c\n"
       "              --trials T --quantile Q\n"
       "race/sweep:   --threads N splits trials over N worker threads\n"
@@ -105,6 +117,33 @@ void ApplySimdFlag(const harness::Flags& flags) {
   }
 }
 
+// Shared adversary flag block (run/race/sweep). The spec's own Validate and
+// ValidateEngineConfig do the real checking; this only parses.
+adversary::AdversarySpec ParseAdversaryFlags(const harness::Flags& flags) {
+  adversary::AdversarySpec spec;
+  const std::string name = flags.GetStringOr("adversary", "none");
+  const std::optional<adversary::Kind> kind =
+      adversary::ParseAdversaryKind(name);
+  if (!kind || *kind == adversary::Kind::kScripted) {
+    Usage("unknown adversary '" + name +
+          "' (none|oblivious_rate|primary_camper|greedy_reactive|"
+          "random_budgeted)");
+  }
+  spec.kind = *kind;
+  spec.rate = flags.GetDoubleOr("adversary-rate", 0.0);
+  spec.budget = flags.GetIntOr("adversary-budget", 0);
+  spec.per_round_cap =
+      static_cast<std::int32_t>(flags.GetIntOr("adversary-cap", 1));
+  spec.adv_seed =
+      static_cast<std::uint64_t>(flags.GetIntOr("adversary-seed", 0));
+  const std::string obs = flags.GetStringOr("adversary-obs", "full");
+  const std::optional<adversary::ObsMode> mode =
+      adversary::ParseObsMode(obs);
+  if (!mode) Usage("unknown adversary-obs '" + obs + "' (activity|full)");
+  spec.obs = *mode;
+  return spec;
+}
+
 sim::EngineConfig BaseConfig(const harness::Flags& flags) {
   sim::EngineConfig config;
   config.num_active =
@@ -143,6 +182,7 @@ int CmdRun(const harness::Flags& flags) {
   config.faults.crash_rate = flags.GetDoubleOr("crash-rate", 0.0);
   config.faults.fault_seed =
       static_cast<std::uint64_t>(flags.GetIntOr("fault-seed", 0));
+  config.adversary = ParseAdversaryFlags(flags);
   config.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
   RejectUnknownFlags(flags);
 
@@ -174,11 +214,18 @@ int CmdRun(const harness::Flags& flags) {
   std::cout << "rounds executed: " << r.rounds_executed
             << ", transmissions: " << r.total_transmissions
             << " (max per node " << r.max_node_transmissions << ")\n";
-  if (config.faults.Any()) {
+  if (config.faults.Any() ||
+      config.adversary.kind == adversary::Kind::kObliviousRate) {
     std::cout << "faults injected: " << r.faults_injected << " (jams "
               << r.jams_injected << ", erasures " << r.erasures_injected
               << ", cd flips " << r.cd_flips_injected << ", crashes "
               << r.crashed_nodes << ")\n";
+  }
+  if (config.adversary.Budgeted()) {
+    std::cout << "adversary " << adversary::ToString(config.adversary.kind)
+              << ": spent " << r.adv_jams_spent << "/"
+              << config.adversary.budget << " jams, " << r.adv_jams_effective
+              << " suppressed a lone delivery\n";
   }
   for (const char* phase : {"reduce_done", "rename_done", "elect_done"}) {
     const std::int64_t mark = r.LastPhaseMark(phase);
@@ -195,19 +242,36 @@ int CmdRace(const harness::Flags& flags) {
   spec.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
   spec.use_batch_engine = !flags.GetBoolOr("no-batch", false);
   spec.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
+  spec.adversary = ParseAdversaryFlags(flags);
   const auto trials = static_cast<std::int32_t>(flags.GetIntOr("trials", 200));
   const auto threads =
       static_cast<std::int32_t>(flags.GetIntOr("threads", 0));
   RejectUnknownFlags(flags);
 
-  harness::Table table({"algorithm", "mean", "p95", "max", "unsolved"});
+  // Under an adversary the failure *breakdown* is the story (timeouts vs
+  // wedged livelocks) plus how much budget the jammer actually landed.
+  const bool adv = spec.adversary.Budgeted();
+  harness::Table table(
+      adv ? std::vector<std::string>{"algorithm", "mean", "p95", "max",
+                                     "unsolved", "timed_out", "wedged",
+                                     "adv_spent", "adv_effective"}
+          : std::vector<std::string>{"algorithm", "mean", "p95", "max",
+                                     "unsolved"});
   for (const harness::AlgorithmInfo& info : harness::Algorithms()) {
     if (info.requires_two_active && spec.num_active != 2) continue;
     const harness::TrialSetResult r = harness::RunTrials(
         spec, harness::HandleFor(info), trials, /*keep_runs=*/false, threads);
-    table.Row().Cells(info.name, r.summary.mean, r.summary.p95,
-                      r.summary.max,
-                      static_cast<std::int64_t>(r.unsolved));
+    if (adv) {
+      table.Row().Cells(info.name, r.summary.mean, r.summary.p95,
+                        r.summary.max, static_cast<std::int64_t>(r.unsolved),
+                        static_cast<std::int64_t>(r.timed_out),
+                        static_cast<std::int64_t>(r.wedged),
+                        r.adv_jams_spent, r.adv_jams_effective);
+    } else {
+      table.Row().Cells(info.name, r.summary.mean, r.summary.p95,
+                        r.summary.max,
+                        static_cast<std::int64_t>(r.unsolved));
+    }
   }
   table.Print(std::cout);
   return 0;
@@ -226,6 +290,7 @@ int CmdSweep(const harness::Flags& flags) {
   base.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
   base.use_batch_engine = !flags.GetBoolOr("no-batch", false);
   base.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
+  base.adversary = ParseAdversaryFlags(flags);
   const auto threads =
       static_cast<std::int32_t>(flags.GetIntOr("threads", 0));
   RejectUnknownFlags(flags);
