@@ -129,14 +129,6 @@ double SuccessRate(const PointResult& pt) {
          static_cast<double>(pt.trials);
 }
 
-// Unsolved trials that neither timed out nor aborted: every node terminated
-// convinced the problem was solved, but no lone primary delivery ever
-// landed. Only an adaptive jammer produces these (by splitting lockstep
-// node states), so the breakdown gets its own column.
-std::int32_t SilentFailures(const harness::TrialSetResult& r) {
-  return std::max(0, r.unsolved - r.timed_out - r.aborted);
-}
-
 void WritePoint(harness::JsonWriter& w, const PointResult& pt) {
   const harness::TrialSetResult& r = pt.result;
   w.BeginObject();
@@ -160,7 +152,7 @@ void WritePoint(harness::JsonWriter& w, const PointResult& pt) {
   w.Key("timed_out").Value(static_cast<std::int64_t>(r.timed_out));
   w.Key("aborted").Value(static_cast<std::int64_t>(r.aborted));
   w.Key("wedged").Value(static_cast<std::int64_t>(r.wedged));
-  w.Key("silent_failures").Value(static_cast<std::int64_t>(SilentFailures(r)));
+  w.Key("silent_failures").Value(static_cast<std::int64_t>(r.deluded));
   w.Key("success_rate").Value(SuccessRate(pt));
   w.Key("mean_solved_rounds")
       .Value(r.solved_rounds.empty() ? 0.0 : r.summary.mean);
@@ -236,7 +228,7 @@ int RunBench(const harness::Flags& flags) {
         harness::FormatDouble(SuccessRate(pt), 3),
         static_cast<std::int64_t>(r.timed_out),
         static_cast<std::int64_t>(r.aborted),
-        static_cast<std::int64_t>(SilentFailures(r)),
+        static_cast<std::int64_t>(r.deluded),
         harness::FormatDouble(
             r.solved_rounds.empty() ? 0.0 : r.summary.mean, 1),
         harness::FormatDouble(pt.round_inflation, 2), r.adv_jams_spent,

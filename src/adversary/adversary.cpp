@@ -103,6 +103,69 @@ class RandomBudgeted final : public Adversary {
   std::vector<std::int64_t> picks_;
 };
 
+// Infers the general algorithm's pipeline stage from last round's activity
+// pattern and concentrates budget where one jam flips the outcome (the
+// ROADMAP's phase-tracking adversary, minimal version):
+//   - Silence — nothing sighted, or nothing observed yet — reads as an
+//     all-listen feedback round (Reduce's verdict rounds, the single most
+//     fragile rounds E23 found) or as a robust-layer backoff pause. Either
+//     way only the primary channel matters: jam it.
+//   - A sparse primary channel (1–2 transmitters, or censored counts under
+//     ObsMode::kActivity) reads as the endgame, where a lone delivery may
+//     be imminent: jam primary first, then the sparsest side channels.
+//   - A dense primary channel (3+ transmitters) reads as the early
+//     broadcast stages, where no lone primary delivery can land and a jam
+//     is wasted: spend nothing. This patience is what distinguishes
+//     tracking from camping — against the general pipeline it holds its
+//     budget through Reduce's dense rounds and lands it on the sparse
+//     endgame the camper may already be too broke to reach.
+// Deterministic: never touches ctx.rng.
+class PhaseTracking final : public Adversary {
+ public:
+  const char* name() const override { return "phase_tracking"; }
+  bool needs_observation() const override { return true; }
+
+  void PlanJams(const PlanContext& ctx,
+                std::vector<mac::ChannelId>& out) override {
+    if (ctx.last == nullptr || ctx.last->sightings.empty()) {
+      out.push_back(mac::kPrimaryChannel);
+      return;
+    }
+    std::int32_t primary_tx = 0;  // 0: primary not sighted (all-listen)
+    side_.clear();
+    for (const ChannelSighting& s : ctx.last->sightings) {
+      if (s.channel == mac::kPrimaryChannel) {
+        primary_tx = s.transmitters;
+      } else if (s.transmitters < 0 || s.transmitters <= 2) {
+        side_.push_back({s.transmitters, s.channel});
+      }
+    }
+    if (primary_tx >= 3) return;  // dense broadcast stage: conserve budget
+    out.push_back(mac::kPrimaryChannel);
+    if (static_cast<std::int32_t>(out.size()) >= ctx.allowance) return;
+    // Sparsest side channels next (censored counts after known-sparse
+    // ones), channel id breaking ties — deterministic across executors.
+    std::sort(side_.begin(), side_.end(),
+              [](const Sighted& a, const Sighted& b) {
+                const std::int32_t ka = a.transmitters < 0 ? 3 : a.transmitters;
+                const std::int32_t kb = b.transmitters < 0 ? 3 : b.transmitters;
+                if (ka != kb) return ka < kb;
+                return a.channel < b.channel;
+              });
+    for (const Sighted& s : side_) {
+      if (static_cast<std::int32_t>(out.size()) >= ctx.allowance) break;
+      out.push_back(s.channel);
+    }
+  }
+
+ private:
+  struct Sighted {
+    std::int32_t transmitters;
+    mac::ChannelId channel;
+  };
+  std::vector<Sighted> side_;
+};
+
 class ScriptedAdversary final : public Adversary {
  public:
   explicit ScriptedAdversary(std::vector<ScriptEntry> script)
@@ -154,6 +217,8 @@ const char* ToString(Kind kind) {
       return "random_budgeted";
     case Kind::kScripted:
       return "scripted";
+    case Kind::kPhaseTracking:
+      return "phase_tracking";
   }
   return "unknown";
 }
@@ -165,6 +230,7 @@ std::optional<Kind> ParseAdversaryKind(std::string_view name) {
   if (name == "greedy_reactive") return Kind::kGreedyReactive;
   if (name == "random_budgeted") return Kind::kRandomBudgeted;
   if (name == "scripted") return Kind::kScripted;
+  if (name == "phase_tracking") return Kind::kPhaseTracking;
   return std::nullopt;
 }
 
@@ -213,6 +279,8 @@ std::unique_ptr<Adversary> MakeAdversary(const AdversarySpec& spec) {
       return std::make_unique<RandomBudgeted>();
     case Kind::kScripted:
       return std::make_unique<ScriptedAdversary>(spec.script);
+    case Kind::kPhaseTracking:
+      return std::make_unique<PhaseTracking>();
   }
   return nullptr;
 }

@@ -48,6 +48,7 @@ enum class Kind : std::uint8_t {
   kGreedyReactive,   // targets likely lone deliveries from last round's view
   kRandomBudgeted,   // spends uniformly at random — the fairness baseline
   kScripted,         // replays a fixed (round, channel) script — for tests
+  kPhaseTracking,    // infers the protocol stage, strikes all-listen rounds
 };
 
 const char* ToString(Kind kind);

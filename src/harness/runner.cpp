@@ -44,6 +44,7 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
       config.rng = spec.rng;
       config.faults = spec.faults;
       config.adversary = spec.adversary;
+      config.robust = spec.robust;
       runs[static_cast<std::size_t>(t)] =
           batch ? batch_engine.Run(config, *program)
                 : sim::Engine::Run(config, protocol.coroutine);
@@ -65,8 +66,13 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
     result.crashed_nodes += run.crashed_nodes;
     result.adv_jams_spent += run.adv_jams_spent;
     result.adv_jams_effective += run.adv_jams_effective;
+    result.epochs_used += run.epochs_used;
+    result.retries += run.retries;
+    result.confirm_rounds += run.confirm_rounds;
+    result.backoff_rounds += run.backoff_rounds;
     if (run.solved) {
       result.solved_rounds.push_back(run.solved_round + 1);
+      if (run.confirmed) ++result.confirmed;
     } else {
       // Failed trials are counted, never folded into the round statistics:
       // a timed-out trial's rounds_executed is just the max_rounds cap.
@@ -74,6 +80,9 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
       if (run.timed_out) ++result.timed_out;
       if (run.assumption_violated) ++result.aborted;
       if (run.wedged) ++result.wedged;
+      // The remainder terminated unsolved without violating an assumption:
+      // the nodes exited deluded (silent failure).
+      if (!run.timed_out && !run.assumption_violated) ++result.deluded;
     }
   }
   result.summary = Summarize(result.solved_rounds);

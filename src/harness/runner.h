@@ -39,6 +39,8 @@ struct TrialSpec {
   // trial seed doubles as the run seed, so every trial faces a fresh but
   // reproducible jamming schedule).
   adversary::AdversarySpec adversary;
+  // Robust execution layer (robust/robust.h), forwarded per trial.
+  robust::RobustSpec robust;
 };
 
 // A protocol as the harness runs it: the coroutine factory (always present
@@ -67,6 +69,20 @@ struct TrialSetResult {
   std::int32_t timed_out = 0;  // hit max_rounds
   std::int32_t aborted = 0;    // assumption_violated (fault-induced)
   std::int32_t wedged = 0;     // timed out with a stalled trailing half
+  // Silent failures: every node terminated believing the problem solved,
+  // yet no lone primary delivery ever landed. Counted uniformly for every
+  // protocol (the TwoActive shape included — its jammed both-terminated
+  // runs land here, not in timed_out).
+  std::int32_t deluded = 0;
+  // Trials that solved with the robust layer's delivery confirmation
+  // (RunResult::confirmed). Equals solved_rounds.size() when the layer is
+  // on; 0 when it is off.
+  std::int32_t confirmed = 0;
+  // Robust-execution aggregates summed over every trial (solved or not).
+  std::int64_t epochs_used = 0;
+  std::int64_t retries = 0;
+  std::int64_t confirm_rounds = 0;
+  std::int64_t backoff_rounds = 0;
   // Fault-layer aggregates summed over every trial (solved or not).
   std::int64_t faults_injected = 0;
   std::int64_t crashed_nodes = 0;

@@ -1,0 +1,127 @@
+#include "robust/robust.h"
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace crmc::robust {
+namespace {
+
+// Mixing constant for epoch re-salting — distinct from the fault layer's
+// (mac/faults.cpp) and the adversary's (adversary/adversary.cpp) so epoch
+// streams are independent of both even for colliding seeds.
+constexpr std::uint64_t kEpochSeedSalt = 0xE90C4B0FF5A1D3ULL;
+
+std::int64_t CeilLg(std::int64_t x) {
+  std::int64_t bits = 0;
+  std::int64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+std::int64_t CeilLgLg(std::int64_t x) { return CeilLg(CeilLg(x) + 1); }
+
+}  // namespace
+
+void RobustSpec::Validate() const {
+  if (!enabled) {
+    const RobustSpec defaults;
+    CRMC_REQUIRE_MSG(max_epochs == defaults.max_epochs &&
+                         confirm_attempts == defaults.confirm_attempts &&
+                         backoff_base == defaults.backoff_base &&
+                         backoff_cap == defaults.backoff_cap &&
+                         epoch_round_budget == defaults.epoch_round_budget &&
+                         stall_round_budget == defaults.stall_round_budget,
+                     "robust tuning options (--max-epochs, "
+                     "--confirm-attempts, --backoff, --backoff-cap, "
+                     "--epoch-budget, --stall-budget) require --robust");
+    return;
+  }
+  CRMC_REQUIRE_MSG(max_epochs >= 1,
+                   "robust max_epochs must be >= 1, got " << max_epochs);
+  CRMC_REQUIRE_MSG(confirm_attempts >= 0 && confirm_attempts <= 1024,
+                   "robust confirm_attempts must be in [0, 1024], got "
+                       << confirm_attempts);
+  CRMC_REQUIRE_MSG(backoff_base >= 0,
+                   "robust backoff base must be >= 0, got " << backoff_base);
+  CRMC_REQUIRE_MSG(backoff_cap >= backoff_base,
+                   "robust backoff cap must be >= the backoff base, got cap "
+                       << backoff_cap << " base " << backoff_base);
+  CRMC_REQUIRE_MSG(epoch_round_budget >= 0,
+                   "robust epoch round budget must be >= 0 (0 derives it), "
+                   "got "
+                       << epoch_round_budget);
+  CRMC_REQUIRE_MSG(stall_round_budget >= 0,
+                   "robust stall round budget must be >= 0 (0 derives it), "
+                   "got "
+                       << stall_round_budget);
+}
+
+std::uint64_t EpochSeed(std::uint64_t seed, std::int32_t epoch) {
+  if (epoch == 0) return seed;
+  return support::SplitMix64(
+             seed ^ (kEpochSeedSalt * static_cast<std::uint64_t>(epoch)))
+      .Next();
+}
+
+std::int64_t BackoffRounds(const RobustSpec& spec, std::int32_t epoch) {
+  if (epoch <= 0 || spec.backoff_base <= 0) return 0;
+  // min(cap, base << (epoch - 1)) without shift overflow: once the shifted
+  // value clears the cap the cap binds for every later epoch.
+  std::int64_t pause = spec.backoff_base;
+  for (std::int32_t e = 1; e < epoch && pause < spec.backoff_cap; ++e) {
+    pause <<= 1;
+  }
+  return pause < spec.backoff_cap ? pause : spec.backoff_cap;
+}
+
+std::int64_t ReduceRoundBudget(std::int64_t population) {
+  // Reduce runs 2*ceil(lglg n) iterations of 2 reps, one round per rep.
+  return 4 * CeilLgLg(population);
+}
+
+std::int64_t RenameRoundBudget(std::int64_t population,
+                               std::int32_t channels) {
+  // IDReduction contracts the ID space by a log C' factor per iteration:
+  // O(log n / log C') iterations, constant rounds each.
+  const std::int64_t lg_c = CeilLg(channels) > 0 ? CeilLg(channels) : 1;
+  return 16 + 8 * CeilLg(population) / lg_c;
+}
+
+std::int64_t ElectRoundBudget(std::int64_t population,
+                              std::int32_t channels) {
+  // LeafElection walks O(log h) tree levels, O(loglog x) rounds per level
+  // (h <= C leaves, x <= n contenders).
+  return 16 + 4 * (CeilLg(channels) + 1) * CeilLgLg(population);
+}
+
+std::int64_t EpochRoundBudget(const RobustSpec& spec, std::int64_t population,
+                              std::int32_t channels) {
+  if (spec.epoch_round_budget > 0) return spec.epoch_round_budget;
+  const std::int64_t stages = ReduceRoundBudget(population) +
+                              RenameRoundBudget(population, channels) +
+                              ElectRoundBudget(population, channels);
+  // 8x slack over the summed w.h.p. stage budgets: far beyond any pristine
+  // execution, tight enough that a jammed epoch restarts long before
+  // max_rounds.
+  return 64 + 8 * stages;
+}
+
+std::int64_t StallRoundBudget(const RobustSpec& spec,
+                              std::int64_t population) {
+  if (spec.stall_round_budget > 0) return spec.stall_round_budget;
+  return 32 + 4 * CeilLg(population);
+}
+
+std::int32_t FindPrimaryWinner(std::span<const mac::Action> actions) {
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (actions[i].transmit && actions[i].channel == mac::kPrimaryChannel) {
+      return static_cast<std::int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace crmc::robust

@@ -1,0 +1,177 @@
+// Robust execution layer: delivery confirmation, epoch retry with bounded
+// exponential backoff, and phase watchdogs.
+//
+// E22/E23 (EXPERIMENTS.md) showed the paper's algorithms are brittle in
+// exactly the way the model permits: a single reactive jam on Reduce's
+// all-listen round makes every node terminate *deluded* — convinced the
+// problem is solved when no lone primary delivery ever landed. The
+// robustness literature (Jiang & Zheng, arXiv:2111.06650; Bender et al.,
+// arXiv:2408.11275) shows jamming-robustness is bought by trading rounds
+// for confirmation. This subsystem realises that trade as an engine-level
+// wrapper that composes over ANY registered protocol:
+//
+//   1. Delivery confirmation. A round with exactly one primary-channel
+//      transmitter is a *candidate*. If the transmission was delivered,
+//      strong CD already acks it (the winner observes kMessage). If it was
+//      suppressed (jammed/erased), the engine inserts up to
+//      `confirm_attempts` echo/verify rounds: the candidate winner
+//      retransmits on the primary channel while every other live node
+//      listens there. An unsuppressed echo both *solves* the run (it is a
+//      lone primary delivery) and *confirms* it (the winner observes
+//      kMessage; the quiesced listeners witness the delivery). The
+//      adversary must spend budget on every echo to keep the claim open.
+//
+//   2. Epoch retry with bounded exponential backoff. When an epoch fails —
+//      every node terminated without a confirmed delivery (the deluded
+//      exit), a watchdog expired, or a protocol assumption was violated —
+//      the engine re-enters the protocol in a fresh epoch: all non-crashed
+//      nodes restart with RNG streams re-salted by the epoch index, after
+//      an exponentially growing pause of all-idle backoff rounds. The
+//      pause is a honeypot: silence is indistinguishable from an all-listen
+//      round, so reactive jammers keep spending budget on it.
+//
+//   3. Phase watchdogs. Per-stage round budgets derived from the w.h.p.
+//      bounds of the general algorithm's pipeline (Reduce / IDReduction /
+//      LeafElection) sum into a per-epoch budget; a separate stall budget
+//      bounds rounds without observable progress. A jammed stage restarts
+//      the epoch instead of stalling to max_rounds.
+//
+// Both engines (sim/engine.cpp, sim/batch_engine.cpp) drive the layer
+// through the EpochDriver below at identical points of their round loops,
+// so wrapped runs stay bit-exact across executors; with the layer disabled
+// — or enabled over a pristine, unjammed run — execution is bit-identical
+// to an unwrapped run (epoch 0 uses the unsalted seed, and the
+// confirmation path inserts zero rounds when the candidate delivers).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mac/channel.h"
+
+namespace crmc::robust {
+
+// Engine-facing robust-execution configuration (embedded in
+// sim::EngineConfig and harness::TrialSpec). Defaults are inert: enabled
+// == false leaves both engines on their historical code paths.
+struct RobustSpec {
+  bool enabled = false;
+  // Maximum epochs (protocol restarts count from 1). The final epoch runs
+  // to its natural end — timeout, termination, or abort — with no retry.
+  std::int32_t max_epochs = 8;
+  // Echo/verify rounds inserted per suppressed candidate (0 disables the
+  // confirmation exchange; epoch retry still applies).
+  std::int32_t confirm_attempts = 3;
+  // Backoff pause before epoch e (e >= 1, 0-based): min(backoff_cap,
+  // backoff_base << (e - 1)) all-idle rounds. backoff_base 0 disables the
+  // pause entirely.
+  std::int64_t backoff_base = 2;
+  std::int64_t backoff_cap = 256;
+  // Per-epoch round budget for the watchdog; 0 derives it from the w.h.p.
+  // stage bounds (EpochRoundBudget below).
+  std::int64_t epoch_round_budget = 0;
+  // Rounds without observable progress before the stall watchdog restarts
+  // the epoch; 0 derives it (StallRoundBudget below).
+  std::int64_t stall_round_budget = 0;
+
+  bool Active() const { return enabled; }
+
+  // Throws std::invalid_argument, distinct message per violated
+  // constraint (unit-tested). Robust tuning fields require enabled ==
+  // true; the CLI surfaces these as flag errors.
+  void Validate() const;
+};
+
+// Deterministic per-epoch seed: epoch 0 returns `seed` unchanged (epoch 0
+// of a wrapped run is bit-identical to the unwrapped run), later epochs
+// SplitMix64-mix the epoch index in, giving every restart fresh but
+// reproducible per-node streams.
+std::uint64_t EpochSeed(std::uint64_t seed, std::int32_t epoch);
+
+// Backoff pause (in all-idle rounds) inserted before epoch `epoch`
+// (0-based; epoch 0 has no pause).
+std::int64_t BackoffRounds(const RobustSpec& spec, std::int32_t epoch);
+
+// Per-stage w.h.p. round budgets for the general algorithm's pipeline,
+// with generous constant slack (a pristine stage finishes far inside its
+// budget; the watchdog only ever fires on runs an adversary has already
+// derailed). Population is n, the w.h.p. parameter.
+std::int64_t ReduceRoundBudget(std::int64_t population);
+std::int64_t RenameRoundBudget(std::int64_t population, std::int32_t channels);
+std::int64_t ElectRoundBudget(std::int64_t population, std::int32_t channels);
+
+// The per-epoch watchdog budget: spec.epoch_round_budget when set,
+// otherwise a slack multiple of the summed stage budgets.
+std::int64_t EpochRoundBudget(const RobustSpec& spec, std::int64_t population,
+                              std::int32_t channels);
+
+// The stall watchdog budget: spec.stall_round_budget when set, otherwise
+// O(log population) with slack — long enough that any healthy stage makes
+// observable progress first.
+std::int64_t StallRoundBudget(const RobustSpec& spec, std::int64_t population);
+
+// Index (into `actions`) of the round's lone primary-channel transmitter,
+// or -1 if there is none. Engines call this on a candidate round to pick
+// the echo-round winner; passing the coroutine engine's full action array
+// yields the node id directly, passing the batch engine's dense alive-
+// ordered array yields the alive index.
+std::int32_t FindPrimaryWinner(std::span<const mac::Action> actions);
+
+// Per-run robust bookkeeping, owned once per engine run and driven at
+// identical points by both executors (the shared state machine is what
+// keeps wrapped runs bit-exact across engines):
+//
+//   - CountRound() after every protocol or echo round of the epoch;
+//   - WatchdogExpired(stall) at the end of each full round cycle;
+//   - CanRetry() / BeginNextEpoch() when an epoch fails;
+//   - SeedFor(run_seed) when (re)building node state for the epoch;
+//   - PauseRounds() for the backoff pause before the current epoch.
+//
+// With spec.enabled == false the driver is inert: WatchdogExpired and
+// CanRetry are always false, and the engines never reach the other calls.
+class EpochDriver {
+ public:
+  EpochDriver(const RobustSpec& spec, std::int64_t population,
+              std::int32_t channels)
+      : spec_(spec),
+        epoch_budget_(spec.enabled ? EpochRoundBudget(spec, population,
+                                                      channels)
+                                   : 0),
+        stall_budget_(spec.enabled ? StallRoundBudget(spec, population) : 0) {}
+
+  bool enabled() const { return spec_.enabled; }
+  std::int32_t epoch() const { return epoch_; }
+  std::int32_t confirm_attempts() const { return spec_.confirm_attempts; }
+  std::int64_t epoch_budget() const { return epoch_budget_; }
+  std::int64_t stall_budget() const { return stall_budget_; }
+
+  void CountRound() { ++epoch_rounds_; }
+
+  bool WatchdogExpired(std::int64_t stall_streak) const {
+    return spec_.enabled && (epoch_rounds_ >= epoch_budget_ ||
+                             stall_streak >= stall_budget_);
+  }
+
+  bool CanRetry() const {
+    return spec_.enabled && epoch_ + 1 < spec_.max_epochs;
+  }
+
+  void BeginNextEpoch() {
+    ++epoch_;
+    epoch_rounds_ = 0;
+  }
+
+  std::int64_t PauseRounds() const { return BackoffRounds(spec_, epoch_); }
+  std::uint64_t SeedFor(std::uint64_t run_seed) const {
+    return EpochSeed(run_seed, epoch_);
+  }
+
+ private:
+  RobustSpec spec_;
+  std::int32_t epoch_ = 0;
+  std::int64_t epoch_rounds_ = 0;
+  std::int64_t epoch_budget_ = 0;
+  std::int64_t stall_budget_ = 0;
+};
+
+}  // namespace crmc::robust

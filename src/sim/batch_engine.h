@@ -59,7 +59,15 @@ class BatchEngine {
   std::vector<NodeId> alive_;
   std::vector<mac::Action> actions_;
   std::vector<mac::Feedback> feedback_;
+  // Scratch for engine-fabricated rounds under the robust layer
+  // (confirmation echoes, backoff pauses): kept separate so the protocol
+  // round held in actions_/feedback_ survives for Advance.
+  std::vector<mac::Action> fab_actions_;
+  std::vector<mac::Feedback> fab_feedback_;
   std::vector<std::uint8_t> finished_;
+  // Crash-stop is permanent across robust epochs: marked nodes are never
+  // re-included in the alive set on epoch restart.
+  std::vector<std::uint8_t> crashed_;
   std::vector<std::int64_t> node_tx_;
   support::SampleScratch sample_scratch_;
   bool fused_rounds_enabled_ = true;

@@ -79,6 +79,7 @@ std::int64_t ValidateEngineConfig(const EngineConfig& config) {
                                  << " exceeds population " << population);
   config.faults.Validate();
   config.adversary.Validate();
+  config.robust.Validate();
   // One jamming source at a time: an adversary (reactive *or* oblivious)
   // combined with an explicit jam_rate would silently double-jam — the
   // oblivious_rate case would even draw twice from one stream. Distinct
@@ -113,41 +114,22 @@ RunResult Engine::Run(const EngineConfig& config,
   CRMC_REQUIRE(protocol != nullptr);
 
   // Unique IDs for baselines that assume them (sampled from [1, n]).
+  // Sampled once from the original seed: a node keeps its identity across
+  // robust epoch restarts.
   support::RandomSource id_rng =
       support::RandomSource::ForStream(config.seed, 0x1d5eed, config.rng);
   const std::vector<std::int64_t> unique_ids = support::SampleWithoutReplacement(
       population, config.num_active, id_rng);
 
+  robust::EpochDriver epochs(config.robust, population, config.channels);
+
   std::deque<NodeContext> contexts;
   std::vector<ProtocolTask> tasks;
-  tasks.reserve(static_cast<std::size_t>(config.num_active));
-  for (NodeId i = 0; i < config.num_active; ++i) {
-    contexts.emplace_back(
-        i, population, config.num_active, config.channels,
-        unique_ids[static_cast<std::size_t>(i)],
-        support::RandomSource::ForStream(
-            config.seed, static_cast<std::uint64_t>(i) + 1, config.rng));
-  }
-  for (NodeId i = 0; i < config.num_active; ++i) {
-    tasks.push_back(protocol(contexts[static_cast<std::size_t>(i)]));
-    CRMC_CHECK_MSG(tasks.back().Valid(), "protocol factory returned no task");
-  }
-
   std::vector<NodeId> alive;
   alive.reserve(static_cast<std::size_t>(config.num_active));
-
-  // Kick every coroutine to its first round request (or completion).
-  for (NodeId i = 0; i < config.num_active; ++i) {
-    auto& task = tasks[static_cast<std::size_t>(i)];
-    task.Resume();
-    if (task.Done()) {
-      task.RethrowIfFailed();
-    } else {
-      CRMC_CHECK_MSG(contexts[static_cast<std::size_t>(i)].has_pending_,
-                     "protocol suspended without submitting a round action");
-      alive.push_back(i);
-    }
-  }
+  // Crash-stop is permanent across epochs: a crashed node never restarts.
+  std::vector<std::uint8_t> crashed(
+      static_cast<std::size_t>(config.num_active), 0);
 
   RunResult result;
   mac::FaultInjector injector(EffectiveFaultSpec(config), config.seed);
@@ -158,6 +140,11 @@ RunResult Engine::Run(const EngineConfig& config,
   std::vector<mac::Action> actions(
       static_cast<std::size_t>(config.num_active));
   std::vector<mac::Feedback> feedback;
+  // Scratch for engine-fabricated rounds (confirmation echoes and backoff
+  // pauses): they must not clobber `actions`/`feedback`, which still hold
+  // the protocol round the suspended coroutines are waiting on.
+  std::vector<mac::Action> fab_actions;
+  std::vector<mac::Feedback> fab_feedback;
   std::vector<std::int64_t> node_tx(
       static_cast<std::size_t>(config.num_active), 0);
   // Wakeup-transform bookkeeping: a node in auto-beacon mode transmits on
@@ -170,60 +157,14 @@ RunResult Engine::Run(const EngineConfig& config,
   std::int64_t round = 0;
   std::int64_t stall_streak = 0;
   bool aborted = false;
-  while (!alive.empty() && round < config.max_rounds) {
-    // Crash-stop sweep: one draw per alive node in ascending node order, at
-    // the start of the round, before the node gets to act. A crashed node's
-    // action slot is reset so a stale transmission cannot leak into this
-    // round's resolution.
-    if (injector.has_crashes()) {
-      std::size_t write = 0;
-      for (std::size_t read = 0; read < alive.size(); ++read) {
-        const NodeId idx = alive[read];
-        if (injector.DrawCrash()) {
-          actions[static_cast<std::size_t>(idx)] = mac::Action::Idle();
-        } else {
-          alive[write++] = idx;
-        }
-      }
-      alive.resize(write);
-      if (alive.empty()) break;
-    }
-    if (config.record_active_counts) {
-      result.active_counts.push_back(
-          static_cast<std::int64_t>(alive.size()));
-    }
+  // True iff the run hit max_rounds inside a between-epoch backoff pause
+  // (folded into timed_out below; the round loop's own timeout leaves
+  // alive nonempty and is detected the historical way).
+  bool out_of_rounds = false;
 
-    // Idle out slots owned by finished nodes, then collect live actions.
-    // (Finished slots keep Action::Idle from initialization or from the
-    // explicit reset below.)
-    for (const NodeId idx : alive) {
-      const auto s = static_cast<std::size_t>(idx);
-      NodeContext& ctx = contexts[s];
-      if (ctx.auto_beacon_ && !beacon_emitted[s]) {
-        actions[s] = mac::Action::Transmit(mac::kPrimaryChannel);
-        beacon_emitted[s] = 1;  // the held action runs next round
-        continue;
-      }
-      actions[s] = ctx.pending_action_;
-      ctx.has_pending_ = false;
-      beacon_emitted[s] = 0;
-    }
-
-    for (const NodeId idx : alive) {
-      const auto s = static_cast<std::size_t>(idx);
-      if (actions[s].channel != mac::kIdleChannel && actions[s].transmit) {
-        ++node_tx[s];
-      }
-    }
-
-    // Plan this round's adversary jams from rounds < round only (the
-    // observation recorded after the previous Resolve) — jamming is a bet
-    // on where activity will land, never a reaction to it.
-    const std::span<const mac::ChannelId> adv_jams =
-        adversary.PlanRound(round, config.channels);
-    const mac::RoundSummary summary =
-        resolver.Resolve(actions, feedback, fault_ptr, adv_jams);
-    adversary.ObserveRound(resolver, round);
+  // Shared accounting for every resolved round, protocol and fabricated
+  // alike: totals, trace, solved-detection, round advance.
+  const auto account_round = [&](const mac::RoundSummary& summary) {
     result.total_transmissions += summary.total_transmissions;
     result.adv_jams_spent += summary.adv_jams;
     result.adv_jams_effective += summary.adv_jams_effective;
@@ -245,56 +186,262 @@ RunResult Engine::Run(const EngineConfig& config,
       result.all_solved_rounds.push_back(round);
     }
     ++round;
-    if (result.solved && config.stop_when_solved) break;
+  };
 
-    // Deliver feedback and advance every live coroutine to its next round
-    // request (or completion). A node that spent this round on an engine-
-    // issued beacon is not resumed: its protocol action is still pending.
-    // When faults are active, a ProtocolAssumptionViolation raised by a
-    // protocol fed fault-corrupted feedback aborts the run gracefully
-    // instead of propagating (the model guarantee it checks really was
-    // broken — by the adversary, not by a bug).
-    const std::size_t alive_before_advance = alive.size();
-    std::size_t write = 0;
-    try {
-      for (std::size_t read = 0; read < alive.size(); ++read) {
-        const NodeId idx = alive[read];
-        const auto s = static_cast<std::size_t>(idx);
-        NodeContext& ctx = contexts[s];
-        ctx.round_ = round;
-        if (beacon_emitted[s]) {
-          alive[write++] = idx;  // beacon round: protocol runs next round
-          continue;
-        }
-        ctx.feedback_ = feedback[s];
-        CRMC_CHECK(ctx.resume_point_);
-        ctx.resume_point_.resume();
-        auto& task = tasks[s];
-        if (task.Done()) {
-          task.RethrowIfFailed();
-          actions[s] = mac::Action::Idle();
-        } else {
-          CRMC_CHECK_MSG(
-              ctx.has_pending_,
-              "protocol suspended without submitting a round action");
-          alive[write++] = idx;
-        }
+  // One engine-fabricated round. The adversary plans and observes it like
+  // any protocol round (backoff silence is a honeypot: a reactive jammer
+  // cannot tell it from an all-listen round), but crash draws are skipped
+  // and no coroutine advances — node state is frozen while the engine
+  // holds the floor. `winner` >= 0 fabricates a confirmation echo (the
+  // candidate retransmits its message on the primary channel, every other
+  // live node listens there); -1 fabricates an all-idle backoff round.
+  const auto fabricated_round = [&](std::int32_t winner) {
+    if (config.record_active_counts) {
+      result.active_counts.push_back(
+          static_cast<std::int64_t>(alive.size()));
+    }
+    fab_actions.assign(static_cast<std::size_t>(config.num_active),
+                       mac::Action::Idle());
+    if (winner >= 0) {
+      for (const NodeId idx : alive) {
+        fab_actions[static_cast<std::size_t>(idx)] =
+            mac::Action::Listen(mac::kPrimaryChannel);
       }
-    } catch (const support::ProtocolAssumptionViolation&) {
-      // Graceful abort only when some adversarial layer really did break
-      // the model guarantee the protocol checks — oblivious faults or an
-      // adaptive jammer. Otherwise it is a bug and must propagate.
-      if (!injector.active() && !adversary.active()) throw;
-      result.assumption_violated = true;
-      aborted = true;
+      fab_actions[static_cast<std::size_t>(winner)] = mac::Action::Transmit(
+          mac::kPrimaryChannel,
+          actions[static_cast<std::size_t>(winner)].message);
+      ++node_tx[static_cast<std::size_t>(winner)];
+    }
+    const std::span<const mac::ChannelId> adv_jams =
+        adversary.PlanRound(round, config.channels);
+    const mac::RoundSummary summary =
+        resolver.Resolve(fab_actions, fab_feedback, fault_ptr, adv_jams);
+    adversary.ObserveRound(resolver, round);
+    account_round(summary);
+  };
+
+  while (true) {  // one iteration per robust epoch (single pass when off)
+    // Bounded exponential backoff before every retry epoch (epoch 0 starts
+    // immediately). All-idle rounds: the protocol is silent, but the
+    // adversary still plans and observes — and every reactive strategy
+    // falls back to camping the primary channel on silence, so the pause
+    // drains its budget.
+    for (std::int64_t pause = epochs.PauseRounds();
+         pause > 0 && round < config.max_rounds; --pause) {
+      fabricated_round(-1);
+      ++result.backoff_rounds;
+    }
+    if (round >= config.max_rounds) {
+      out_of_rounds = true;
       break;
     }
-    alive.resize(write);
-    // Livelock watchdog: a round made progress iff some channel delivered a
-    // lone message or some node terminated. (Crashes are not progress.)
-    const bool progress =
-        summary.lone_deliveries > 0 || write < alive_before_advance;
-    stall_streak = progress ? 0 : stall_streak + 1;
+
+    // (Re)build node state for this epoch. Epoch 0 uses the unsalted seed
+    // — byte-for-byte the historical construction — so a wrapped pristine
+    // run stays bit-identical to an unwrapped one. Later epochs re-salt
+    // every per-node stream; unique IDs persist (sampled once above) and
+    // crashed slots hold finished placeholder tasks.
+    const std::uint64_t epoch_seed = epochs.SeedFor(config.seed);
+    contexts.clear();
+    tasks.clear();
+    alive.clear();
+    for (NodeId i = 0; i < config.num_active; ++i) {
+      contexts.emplace_back(
+          i, population, config.num_active, config.channels,
+          unique_ids[static_cast<std::size_t>(i)],
+          support::RandomSource::ForStream(
+              epoch_seed, static_cast<std::uint64_t>(i) + 1, config.rng));
+    }
+    for (NodeId i = 0; i < config.num_active; ++i) {
+      if (crashed[static_cast<std::size_t>(i)]) {
+        tasks.emplace_back();
+        continue;
+      }
+      tasks.push_back(protocol(contexts[static_cast<std::size_t>(i)]));
+      CRMC_CHECK_MSG(tasks.back().Valid(), "protocol factory returned no task");
+    }
+    std::fill(actions.begin(), actions.end(), mac::Action::Idle());
+    std::fill(beacon_emitted.begin(), beacon_emitted.end(), 0);
+    stall_streak = 0;
+
+    // Kick every coroutine to its first round request (or completion).
+    for (NodeId i = 0; i < config.num_active; ++i) {
+      if (crashed[static_cast<std::size_t>(i)]) continue;
+      auto& task = tasks[static_cast<std::size_t>(i)];
+      task.Resume();
+      if (task.Done()) {
+        task.RethrowIfFailed();
+      } else {
+        CRMC_CHECK_MSG(contexts[static_cast<std::size_t>(i)].has_pending_,
+                       "protocol suspended without submitting a round action");
+        alive.push_back(i);
+      }
+    }
+
+    bool epoch_failed = false;
+    while (!alive.empty() && round < config.max_rounds) {
+      // Crash-stop sweep: one draw per alive node in ascending node order,
+      // at the start of the round, before the node gets to act. A crashed
+      // node's action slot is reset so a stale transmission cannot leak
+      // into this round's resolution.
+      if (injector.has_crashes()) {
+        std::size_t write = 0;
+        for (std::size_t read = 0; read < alive.size(); ++read) {
+          const NodeId idx = alive[read];
+          if (injector.DrawCrash()) {
+            crashed[static_cast<std::size_t>(idx)] = 1;
+            actions[static_cast<std::size_t>(idx)] = mac::Action::Idle();
+          } else {
+            alive[write++] = idx;
+          }
+        }
+        alive.resize(write);
+        if (alive.empty()) break;
+      }
+      if (config.record_active_counts) {
+        result.active_counts.push_back(
+            static_cast<std::int64_t>(alive.size()));
+      }
+
+      // Idle out slots owned by finished nodes, then collect live actions.
+      // (Finished slots keep Action::Idle from initialization or from the
+      // explicit reset below.)
+      for (const NodeId idx : alive) {
+        const auto s = static_cast<std::size_t>(idx);
+        NodeContext& ctx = contexts[s];
+        if (ctx.auto_beacon_ && !beacon_emitted[s]) {
+          actions[s] = mac::Action::Transmit(mac::kPrimaryChannel);
+          beacon_emitted[s] = 1;  // the held action runs next round
+          continue;
+        }
+        actions[s] = ctx.pending_action_;
+        ctx.has_pending_ = false;
+        beacon_emitted[s] = 0;
+      }
+
+      for (const NodeId idx : alive) {
+        const auto s = static_cast<std::size_t>(idx);
+        if (actions[s].channel != mac::kIdleChannel && actions[s].transmit) {
+          ++node_tx[s];
+        }
+      }
+
+      // Plan this round's adversary jams from rounds < round only (the
+      // observation recorded after the previous Resolve) — jamming is a bet
+      // on where activity will land, never a reaction to it.
+      const std::span<const mac::ChannelId> adv_jams =
+          adversary.PlanRound(round, config.channels);
+      const mac::RoundSummary summary =
+          resolver.Resolve(actions, feedback, fault_ptr, adv_jams);
+      adversary.ObserveRound(resolver, round);
+      account_round(summary);
+      epochs.CountRound();
+
+      // Delivery confirmation: exactly one primary-channel transmitter
+      // whose message was suppressed is a *candidate* — insert echo rounds
+      // until one delivers or attempts run out. A delivered candidate needs
+      // no echo (strong CD already acked it: the transmitter observed its
+      // own kMessage), and a delivered echo is itself the solving lone
+      // delivery.
+      if (epochs.enabled() && !result.solved &&
+          summary.primary_transmitters == 1 &&
+          !summary.primary_lone_delivered) {
+        const std::int32_t winner = robust::FindPrimaryWinner(actions);
+        CRMC_CHECK(winner >= 0);
+        for (std::int32_t attempt = 0;
+             attempt < epochs.confirm_attempts() &&
+             round < config.max_rounds && !result.solved;
+             ++attempt) {
+          fabricated_round(winner);
+          ++result.confirm_rounds;
+          epochs.CountRound();
+        }
+      }
+      if (result.solved && config.stop_when_solved) break;
+
+      // Deliver feedback and advance every live coroutine to its next round
+      // request (or completion). A node that spent this round on an engine-
+      // issued beacon is not resumed: its protocol action is still pending.
+      // When faults are active, a ProtocolAssumptionViolation raised by a
+      // protocol fed fault-corrupted feedback aborts the run gracefully
+      // instead of propagating (the model guarantee it checks really was
+      // broken — by the adversary, not by a bug); under the robust layer
+      // the violation instead fails the epoch and retries.
+      const std::size_t alive_before_advance = alive.size();
+      std::size_t write = 0;
+      try {
+        for (std::size_t read = 0; read < alive.size(); ++read) {
+          const NodeId idx = alive[read];
+          const auto s = static_cast<std::size_t>(idx);
+          NodeContext& ctx = contexts[s];
+          ctx.round_ = round;
+          if (beacon_emitted[s]) {
+            alive[write++] = idx;  // beacon round: protocol runs next round
+            continue;
+          }
+          ctx.feedback_ = feedback[s];
+          CRMC_CHECK(ctx.resume_point_);
+          ctx.resume_point_.resume();
+          auto& task = tasks[s];
+          if (task.Done()) {
+            task.RethrowIfFailed();
+            actions[s] = mac::Action::Idle();
+          } else {
+            CRMC_CHECK_MSG(
+                ctx.has_pending_,
+                "protocol suspended without submitting a round action");
+            alive[write++] = idx;
+          }
+        }
+      } catch (const support::ProtocolAssumptionViolation&) {
+        // Graceful abort only when some adversarial layer really did break
+        // the model guarantee the protocol checks — oblivious faults or an
+        // adaptive jammer. Otherwise it is a bug and must propagate.
+        if (!injector.active() && !adversary.active()) throw;
+        if (epochs.CanRetry()) {
+          epoch_failed = true;  // retry instead of aborting
+          break;
+        }
+        result.assumption_violated = true;
+        aborted = true;
+        break;
+      }
+      alive.resize(write);
+      // Livelock watchdog: a round made progress iff some channel delivered
+      // a lone message or some node terminated. (Crashes are not progress.)
+      const bool progress =
+          summary.lone_deliveries > 0 || write < alive_before_advance;
+      stall_streak = progress ? 0 : stall_streak + 1;
+
+      // Phase watchdogs: a jammed stage restarts the epoch instead of
+      // stalling to max_rounds. The final permitted epoch runs to its
+      // natural end (CanRetry gates the check), preserving the historical
+      // timeout/wedge diagnostics when retries are exhausted.
+      if (!result.solved && epochs.CanRetry() &&
+          epochs.WatchdogExpired(stall_streak)) {
+        epoch_failed = true;
+        break;
+      }
+    }
+
+    // Deluded exit: every node terminated (or crashed) without a confirmed
+    // delivery — the silent failure E23 measures. Retry iff someone is
+    // left to restart.
+    if (!epoch_failed && !aborted && !result.solved && alive.empty() &&
+        epochs.CanRetry()) {
+      for (NodeId i = 0; i < config.num_active; ++i) {
+        if (!crashed[static_cast<std::size_t>(i)]) {
+          epoch_failed = true;
+          break;
+        }
+      }
+    }
+    if (!epoch_failed || round >= config.max_rounds) break;
+    epochs.BeginNextEpoch();
+    // A watchdog-failed epoch leaves mid-flight nodes behind; they are
+    // discarded (the backoff pause and the next epoch rebuild see an empty
+    // network, not half-restarted stragglers).
+    alive.clear();
   }
 
   result.rounds_executed = round;
@@ -305,7 +452,8 @@ RunResult Engine::Run(const EngineConfig& config,
   result.faults_injected = fc.Total();
   result.crashed_nodes = static_cast<std::int32_t>(fc.crashes);
   result.stall_rounds = stall_streak;
-  result.all_terminated = !aborted && alive.empty() && fc.crashes == 0;
+  result.all_terminated =
+      !aborted && !out_of_rounds && alive.empty() && fc.crashes == 0;
   for (const std::int64_t tx : node_tx) {
     result.max_node_transmissions =
         std::max(result.max_node_transmissions, tx);
@@ -315,10 +463,16 @@ RunResult Engine::Run(const EngineConfig& config,
   if (config.record_node_transmissions) {
     result.node_transmissions = std::move(node_tx);
   }
-  result.timed_out = !alive.empty() && round >= config.max_rounds &&
-                     !(result.solved && config.stop_when_solved);
+  result.timed_out = (!alive.empty() && round >= config.max_rounds &&
+                      !(result.solved && config.stop_when_solved)) ||
+                     out_of_rounds;
   result.wedged =
       result.timed_out && stall_streak * 2 >= result.rounds_executed;
+  if (epochs.enabled()) {
+    result.epochs_used = epochs.epoch() + 1;
+    result.retries = epochs.epoch();
+    result.confirmed = result.solved;
+  }
 
   for (const NodeContext& ctx : contexts) {
     if (ctx.phase_marks().empty() && ctx.metrics().empty()) continue;

@@ -22,6 +22,7 @@
 #include "adversary/adversary.h"
 #include "mac/channel.h"
 #include "mac/faults.h"
+#include "robust/robust.h"
 #include "sim/node_context.h"
 #include "sim/task.h"
 #include "sim/trace.h"
@@ -67,6 +68,12 @@ struct EngineConfig {
   // so it is bit-identical to the equivalent faults.jam_rate run; combining
   // an adversary with an explicit faults.jam_rate is a config error.
   adversary::AdversarySpec adversary;
+  // Robust execution layer (robust/robust.h): delivery-confirmation echo
+  // rounds, epoch retry with bounded exponential backoff, and phase
+  // watchdogs. Disabled (the default) leaves the run bit-identical to one
+  // without the layer; enabled over a pristine run likewise (epoch 0 uses
+  // the unsalted seed and a delivered candidate confirms at zero cost).
+  robust::RobustSpec robust;
   // Core generator for the per-node (and ID-sampling) streams. kXoshiro
   // keeps the historical bit streams; kPhilox is counter-based and lets the
   // batch engine's SIMD kernels (src/simd/) vectorize the draws. Either
@@ -141,6 +148,24 @@ struct RunResult {
   // True iff the run timed out AND at least half of it was trailing stall:
   // the protocol had stopped making any observable progress.
   bool wedged = false;
+  // ---- Robust-execution accounting (robust/robust.h) ----
+  // All zero/false when the robust layer is disabled. node_reports come
+  // from the final epoch's nodes (earlier epochs' protocol state is
+  // discarded on restart).
+  // Epochs entered (>= 1 whenever the layer ran).
+  std::int32_t epochs_used = 0;
+  // Epoch restarts taken (= epochs_used - 1, kept explicit for reporting).
+  std::int32_t retries = 0;
+  // Engine-inserted confirmation echo rounds actually executed.
+  std::int64_t confirm_rounds = 0;
+  // Engine-inserted all-idle backoff rounds between epochs.
+  std::int64_t backoff_rounds = 0;
+  // True iff the run solved under the robust layer's confirmation
+  // contract: the solving lone primary delivery either acked directly
+  // (strong-CD kMessage feedback to the winner) or was re-established by a
+  // confirmation echo round. With the layer on, every solve is confirmed;
+  // the flag distinguishes robust-confirmed solves in mixed reporting.
+  bool confirmed = false;
   // True iff a protocol raised support::ProtocolAssumptionViolation while
   // faults were active (e.g. a strong-CD protocol observing the
   // "impossible" feedback an erasure produces) and the run was aborted

@@ -45,7 +45,8 @@ using mac::RoundSummary;
 TEST(AdversarySpecTest, KindNamesRoundTrip) {
   for (const Kind kind :
        {Kind::kNone, Kind::kObliviousRate, Kind::kPrimaryCamper,
-        Kind::kGreedyReactive, Kind::kRandomBudgeted, Kind::kScripted}) {
+        Kind::kGreedyReactive, Kind::kRandomBudgeted, Kind::kScripted,
+        Kind::kPhaseTracking}) {
     const auto parsed = adversary::ParseAdversaryKind(adversary::ToString(kind));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, kind);
@@ -184,10 +185,11 @@ TEST(BudgetLedgerTest, DriverNeverOverspendsAcross2000Seeds) {
   support::RandomSource meta(0xB0D6E7);
   for (int trial = 0; trial < 2000; ++trial) {
     AdversarySpec spec;
-    const std::int64_t pick = meta.UniformInt(0, 3);
+    const std::int64_t pick = meta.UniformInt(0, 4);
     spec.kind = pick == 0   ? Kind::kPrimaryCamper
                 : pick == 1 ? Kind::kGreedyReactive
                 : pick == 2 ? Kind::kRandomBudgeted
+                : pick == 3 ? Kind::kPhaseTracking
                             : Kind::kScripted;
     spec.budget = meta.UniformInt(0, 40);
     spec.per_round_cap = static_cast<std::int32_t>(meta.UniformInt(1, 6));
@@ -390,6 +392,11 @@ void ExpectIdenticalRuns(const sim::RunResult& a, const sim::RunResult& b) {
   EXPECT_EQ(a.stall_rounds, b.stall_rounds);
   EXPECT_EQ(a.wedged, b.wedged);
   EXPECT_EQ(a.assumption_violated, b.assumption_violated);
+  EXPECT_EQ(a.epochs_used, b.epochs_used);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.confirm_rounds, b.confirm_rounds);
+  EXPECT_EQ(a.backoff_rounds, b.backoff_rounds);
+  EXPECT_EQ(a.confirmed, b.confirmed);
 }
 
 TEST(AdversaryEngine, ScriptedReplayIsDeterministic) {
@@ -420,8 +427,8 @@ TEST(AdversaryEngine, ZeroBudgetIsBitIdenticalToPristine) {
   pristine.channels = 16;
   pristine.max_rounds = 2000;
   pristine.record_trace = true;
-  for (const Kind kind :
-       {Kind::kPrimaryCamper, Kind::kGreedyReactive, Kind::kRandomBudgeted}) {
+  for (const Kind kind : {Kind::kPrimaryCamper, Kind::kGreedyReactive,
+                          Kind::kRandomBudgeted, Kind::kPhaseTracking}) {
     for (std::uint64_t seed = 900; seed < 910; ++seed) {
       pristine.seed = seed;
       sim::EngineConfig adv = pristine;
@@ -548,9 +555,16 @@ TEST(AdversaryParity, TwoActiveRandom2000Seeds) {
   CheckAdversaryParity(config, core::MakeTwoActive(), *program, 2000);
 }
 
+TEST(AdversaryParity, TwoActivePhaseTracking2000Seeds) {
+  sim::EngineConfig config = TwoActiveConfig(support::RngKind::kXoshiro);
+  config.adversary = StrategySpec(Kind::kPhaseTracking);
+  auto program = sim::MakeTwoActiveProgram();
+  CheckAdversaryParity(config, core::MakeTwoActive(), *program, 2000);
+}
+
 TEST(AdversaryParity, TwoActiveAllStrategiesPhilox) {
-  for (const Kind kind :
-       {Kind::kPrimaryCamper, Kind::kGreedyReactive, Kind::kRandomBudgeted}) {
+  for (const Kind kind : {Kind::kPrimaryCamper, Kind::kGreedyReactive,
+                          Kind::kRandomBudgeted, Kind::kPhaseTracking}) {
     sim::EngineConfig config = TwoActiveConfig(support::RngKind::kPhilox);
     config.adversary = StrategySpec(kind);
     auto program = sim::MakeTwoActiveProgram();
@@ -562,7 +576,7 @@ TEST(AdversaryParity, GeneralAllStrategiesBothRngKinds) {
   for (const support::RngKind rng :
        {support::RngKind::kXoshiro, support::RngKind::kPhilox}) {
     for (const Kind kind : {Kind::kPrimaryCamper, Kind::kGreedyReactive,
-                            Kind::kRandomBudgeted}) {
+                            Kind::kRandomBudgeted, Kind::kPhaseTracking}) {
       sim::EngineConfig config = GeneralConfig(rng);
       config.adversary = StrategySpec(kind);
       auto program = sim::MakeGeneralProgram();

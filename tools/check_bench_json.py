@@ -38,6 +38,20 @@ Supports three schemas, dispatched on the artifact's "schema" field:
       group, success_rate must be non-increasing as budget_fraction rises
       (same --monotone-tolerance). --baseline is a usage error here too.
 
+  crmc.bench_robust.v1   confirmed-delivery grid (bench_robust --json):
+      each point runs the same adversary config bare and wrapped in the
+      robust epoch/confirmation layer. Validates both failure breakdowns,
+      the robust accounting (confirmed <= solved, epochs_used ==
+      retries + trials, effective <= spent <= budget * trials), gates the
+      headline delivery floor (wrapped confirmed_rate >= --delivery-floor,
+      default 0.99, on every point) and requires at least one point where
+      the bare protocol fails outright while the wrapper still delivers.
+      Also enforces overhead monotonicity: within each (protocol grid key,
+      strategy, obs, cap) group, round_overhead must be non-decreasing as
+      budget_fraction rises (a drop beyond the relative
+      --monotone-tolerance means the accounting is broken — a stronger
+      jammer cannot make the wrapper cheaper). --baseline is a usage error.
+
 Self-test: check_bench_json.py --self-test runs the validators against
 in-memory good/bad documents; wired into ctest so the checker itself is
 under test.
@@ -53,8 +67,9 @@ ENGINE_SCHEMA = "crmc.bench_engine.v1"
 ENGINE_SCHEMA_V2 = "crmc.bench_engine.v2"
 FAULTS_SCHEMA = "crmc.bench_faults.v1"
 ADVERSARY_SCHEMA = "crmc.bench_adversary.v1"
+ROBUST_SCHEMA = "crmc.bench_robust.v1"
 ADVERSARY_STRATEGIES = ("oblivious_rate", "primary_camper", "greedy_reactive",
-                        "random_budgeted", "scripted")
+                        "random_budgeted", "scripted", "phase_tracking")
 ADVERSARY_OBS_MODES = ("full", "activity")
 METADATA_KEYS = ("cpu", "compiler", "dispatch", "rng")
 ENGINE_METRICS = ("seconds", "trials_per_sec", "rounds_per_sec",
@@ -274,6 +289,159 @@ def validate_adversary(doc, path):
     return points
 
 
+def _check_breakdown(side, trials, where):
+    """Shared solved/unsolved bookkeeping for a bare or wrapped breakdown."""
+    solved = _check_count(side, "solved", where)
+    unsolved = _check_count(side, "unsolved", where)
+    timed_out = _check_count(side, "timed_out", where)
+    aborted = _check_count(side, "aborted", where)
+    wedged = _check_count(side, "wedged", where)
+    silent = _check_count(side, "silent_failures", where)
+    if solved + unsolved != trials:
+        fail(f"{where}: solved {solved} + unsolved {unsolved} "
+             f"!= trials {trials}")
+    if timed_out + aborted + silent != unsolved:
+        fail(f"{where}: timed_out {timed_out} + aborted {aborted} + "
+             f"silent_failures {silent} != unsolved {unsolved}")
+    if wedged > timed_out:
+        fail(f"{where}: wedged {wedged} > timed_out {timed_out}")
+    rate = _check_number(side, "success_rate", where, lo=0.0, hi=1.0)
+    if abs(rate - solved / trials) > 1e-9:
+        fail(f"{where}: success_rate {rate} != solved/trials "
+             f"{solved / trials}")
+    return solved
+
+
+def validate_robust(doc, path):
+    """Checks the crmc.bench_robust.v1 schema; returns the points list."""
+    points = _check_points_container(doc, path)
+    for i, p in enumerate(points):
+        where = f"{path}: points[{i}]"
+        if not isinstance(p, dict):
+            fail(f"{where}: must be an object")
+        if not isinstance(p.get("protocol"), str) or not p["protocol"]:
+            fail(f"{where}: 'protocol' must be a non-empty string")
+        for key in ("population", "num_active", "channels", "trials",
+                    "bare_max_rounds", "wrapped_max_rounds"):
+            _check_positive_int(p, key, where)
+        if p["wrapped_max_rounds"] < p["bare_max_rounds"]:
+            fail(f"{where}: wrapped_max_rounds {p['wrapped_max_rounds']} < "
+                 f"bare_max_rounds {p['bare_max_rounds']}")
+        adv = p.get("adversary")
+        if not isinstance(adv, dict):
+            fail(f"{where}: 'adversary' must be an object")
+        strategy = adv.get("strategy")
+        if strategy not in ADVERSARY_STRATEGIES:
+            fail(f"{where}: adversary.strategy {strategy!r} not one of "
+                 f"{ADVERSARY_STRATEGIES}")
+        if adv.get("obs") not in ADVERSARY_OBS_MODES:
+            fail(f"{where}: adversary.obs {adv.get('obs')!r} not one of "
+                 f"{ADVERSARY_OBS_MODES}")
+        budget = _check_count(adv, "budget", f"{where}: adversary")
+        _check_number(adv, "budget_fraction", f"{where}: adversary",
+                      lo=0.0, hi=1.0)
+        _check_positive_int(adv, "per_round_cap", f"{where}: adversary")
+        rob = p.get("robust")
+        if not isinstance(rob, dict):
+            fail(f"{where}: 'robust' must be an object")
+        _check_positive_int(rob, "max_epochs", f"{where}: robust")
+        _check_count(rob, "confirm_attempts", f"{where}: robust")
+        base = _check_count(rob, "backoff_base", f"{where}: robust")
+        cap = _check_count(rob, "backoff_cap", f"{where}: robust")
+        if cap < base:
+            fail(f"{where}: robust.backoff_cap {cap} < backoff_base {base}")
+        trials = p["trials"]
+        bare = p.get("bare")
+        if not isinstance(bare, dict):
+            fail(f"{where}: 'bare' must be an object")
+        _check_breakdown(bare, trials, f"{where}: bare")
+        wrapped = p.get("wrapped")
+        if not isinstance(wrapped, dict):
+            fail(f"{where}: 'wrapped' must be an object")
+        solved = _check_breakdown(wrapped, trials, f"{where}: wrapped")
+        confirmed = _check_count(wrapped, "confirmed", f"{where}: wrapped")
+        if confirmed > solved:
+            fail(f"{where}: wrapped confirmed {confirmed} > solved {solved}")
+        crate = _check_number(wrapped, "confirmed_rate", f"{where}: wrapped",
+                              lo=0.0, hi=1.0)
+        if abs(crate - confirmed / trials) > 1e-9:
+            fail(f"{where}: confirmed_rate {crate} != confirmed/trials "
+                 f"{confirmed / trials}")
+        epochs = _check_count(wrapped, "epochs_used", f"{where}: wrapped")
+        retries = _check_count(wrapped, "retries", f"{where}: wrapped")
+        if epochs != retries + trials:
+            fail(f"{where}: epochs_used {epochs} != retries {retries} + "
+                 f"trials {trials} (each trial runs retries + 1 epochs)")
+        if retries > (rob["max_epochs"] - 1) * trials:
+            fail(f"{where}: retries {retries} exceeds "
+                 f"(max_epochs - 1) * trials")
+        _check_count(wrapped, "confirm_rounds", f"{where}: wrapped")
+        _check_count(wrapped, "backoff_rounds", f"{where}: wrapped")
+        spent = _check_count(wrapped, "adv_jams_spent", f"{where}: wrapped")
+        effective = _check_count(wrapped, "adv_jams_effective",
+                                 f"{where}: wrapped")
+        if effective > spent:
+            fail(f"{where}: adv_jams_effective {effective} > "
+                 f"adv_jams_spent {spent}")
+        if spent > budget * trials:
+            fail(f"{where}: adv_jams_spent {spent} exceeds the aggregate "
+                 f"budget {budget} * {trials} trials")
+        _check_number(wrapped, "mean_solved_rounds", f"{where}: wrapped", lo=0)
+        _check_number(wrapped, "round_overhead", f"{where}: wrapped", lo=0)
+    return points
+
+
+def check_delivery_floor(points, floor):
+    """Every wrapped point must confirm at least `floor` of its trials;
+    at least one point must pair that with an outright bare failure (the
+    headline claim: the wrapper delivers where the bare protocol cannot)."""
+    headline = 0
+    for p in points:
+        crate = p["wrapped"]["confirmed_rate"]
+        if crate < floor:
+            a = p["adversary"]
+            fail(f"{p['protocol']} {a['strategy']} budget_fraction "
+                 f"{a['budget_fraction']}: wrapped confirmed_rate "
+                 f"{crate:.3f} below the delivery floor {floor}")
+        if p["bare"]["success_rate"] == 0.0 and crate >= floor:
+            headline += 1
+    if headline == 0:
+        fail(f"no point has bare success_rate 0 with wrapped confirmed_rate "
+             f">= {floor}; the artifact does not witness the headline claim")
+    return headline
+
+
+def check_overhead_monotonicity(points, tolerance):
+    """round_overhead must not fall as budget_fraction rises, all else equal.
+
+    A jammer with strictly more budget forces at least as many epochs and
+    backoff honeypot rounds, so the wrapped/pristine round ratio can only
+    grow. `tolerance` is relative (overheads span orders of magnitude)."""
+    groups = {}
+    for p in points:
+        a = p["adversary"]
+        key = (tuple(p[k] for k in POINT_KEYS), p["wrapped_max_rounds"],
+               a["strategy"], a["obs"], a["per_round_cap"])
+        groups.setdefault(key, []).append(p)
+    checked = 0
+    for key, group in groups.items():
+        group.sort(key=lambda p: p["adversary"]["budget_fraction"])
+        for prev, cur in zip(group, group[1:]):
+            checked += 1
+            if cur["wrapped"]["round_overhead"] < \
+                    prev["wrapped"]["round_overhead"] * (1.0 - tolerance):
+                fail(f"{cur['protocol']} {cur['adversary']['strategy']}: "
+                     f"round_overhead fell from "
+                     f"{prev['wrapped']['round_overhead']:.2f} "
+                     f"(budget_fraction "
+                     f"{prev['adversary']['budget_fraction']}) to "
+                     f"{cur['wrapped']['round_overhead']:.2f} "
+                     f"(budget_fraction "
+                     f"{cur['adversary']['budget_fraction']}), tolerance "
+                     f"{tolerance}")
+    return checked
+
+
 def check_budget_monotonicity(points, tolerance):
     """success_rate must not rise with budget_fraction, all else equal.
 
@@ -409,10 +577,23 @@ def run_checks(args):
         print(f"{args.artifact}: schema ok, {len(points)} adversary points")
         checked = check_budget_monotonicity(points, args.monotone_tolerance)
         print(f"budget-axis monotonicity ok across {checked} adjacent pairs")
+    elif schema == ROBUST_SCHEMA:
+        if args.baseline:
+            print(f"--baseline is not supported for {ROBUST_SCHEMA} "
+                  "(outcomes are deterministic; no timing to gate)",
+                  file=sys.stderr)
+            sys.exit(2)
+        points = validate_robust(doc, args.artifact)
+        print(f"{args.artifact}: schema ok, {len(points)} robust points")
+        headline = check_delivery_floor(points, args.delivery_floor)
+        print(f"delivery floor {args.delivery_floor} holds on every wrapped "
+              f"point; {headline} points witness bare-fails/wrapped-delivers")
+        checked = check_overhead_monotonicity(points, args.monotone_tolerance)
+        print(f"overhead monotonicity ok across {checked} adjacent pairs")
     else:
         fail(f"{args.artifact}: schema is {schema!r}, expected "
-             f"{ENGINE_SCHEMA!r}, {ENGINE_SCHEMA_V2!r}, {FAULTS_SCHEMA!r} "
-             f"or {ADVERSARY_SCHEMA!r}")
+             f"{ENGINE_SCHEMA!r}, {ENGINE_SCHEMA_V2!r}, {FAULTS_SCHEMA!r}, "
+             f"{ADVERSARY_SCHEMA!r} or {ROBUST_SCHEMA!r}")
     print("check_bench_json: OK")
 
 
@@ -470,6 +651,47 @@ def _adversary_point(strategy="primary_camper", fraction=0.0, success=1.0,
         "adv_jams_effective": 0,
     }
     p.update(overrides)
+    return p
+
+
+def _robust_point(strategy="primary_camper", fraction=0.0, bare_success=1.0,
+                  confirmed_rate=1.0, overhead=None, trials=100,
+                  retries=0, **overrides):
+    bare_solved = round(bare_success * trials)
+    confirmed = round(confirmed_rate * trials)
+    budget = round(fraction * 2000 * 2)
+    if overhead is None:
+        overhead = 1.0 + fraction * 10.0
+    p = {
+        "protocol": "general", "population": 4096, "num_active": 256,
+        "channels": 32, "bare_max_rounds": 2000, "wrapped_max_rounds": 32000,
+        "trials": trials,
+        "adversary": {"strategy": strategy, "obs": "full", "budget": budget,
+                      "budget_fraction": fraction, "per_round_cap": 2},
+        "robust": {"max_epochs": 32, "confirm_attempts": 3,
+                   "backoff_base": 2, "backoff_cap": 1024},
+        "bare": {"solved": bare_solved, "unsolved": trials - bare_solved,
+                 "timed_out": 0, "aborted": 0, "wedged": 0,
+                 "silent_failures": trials - bare_solved,
+                 "success_rate": bare_solved / trials},
+        "wrapped": {"solved": confirmed, "unsolved": trials - confirmed,
+                    "timed_out": trials - confirmed, "aborted": 0,
+                    "wedged": 0, "silent_failures": 0,
+                    "success_rate": confirmed / trials,
+                    "confirmed": confirmed,
+                    "confirmed_rate": confirmed / trials,
+                    "mean_solved_rounds": 10.0 * overhead,
+                    "round_overhead": overhead,
+                    "epochs_used": retries + trials, "retries": retries,
+                    "confirm_rounds": 0, "backoff_rounds": 0,
+                    "adv_jams_spent": min(budget, 5) * trials,
+                    "adv_jams_effective": 0},
+    }
+    for key, value in overrides.items():
+        if isinstance(value, dict) and isinstance(p.get(key), dict):
+            p[key] = dict(p[key], **value)
+        else:
+            p[key] = value
     return p
 
 
@@ -575,6 +797,46 @@ def self_test():
         "schema": ADVERSARY_SCHEMA,
         "points": [_adversary_point(fraction=0.25, adv_jams_effective=9999)],
     }
+    robust_doc = {
+        "schema": ROBUST_SCHEMA,
+        "points": [
+            _robust_point(fraction=0.0, bare_success=1.0, overhead=1.0),
+            _robust_point(fraction=0.25, bare_success=0.0, overhead=4.0,
+                          retries=120),
+            _robust_point(strategy="phase_tracking", fraction=0.25,
+                          bare_success=0.0, overhead=3.5, retries=90),
+            _robust_point(fraction=1.0, bare_success=0.0, overhead=20.0,
+                          retries=400),
+        ],
+    }
+    robust_floor_breach = {
+        "schema": ROBUST_SCHEMA,
+        "points": [_robust_point(fraction=1.0, bare_success=0.0,
+                                 confirmed_rate=0.9, retries=400)],
+    }
+    robust_no_headline = {
+        "schema": ROBUST_SCHEMA,
+        "points": [_robust_point(fraction=0.0, bare_success=1.0)],
+    }
+    robust_overhead_drop = [
+        _robust_point(fraction=0.25, bare_success=0.0, overhead=8.0,
+                      retries=100),
+        _robust_point(fraction=1.0, bare_success=0.0, overhead=2.0,
+                      retries=100),
+    ]
+    robust_bad_breakdown = {
+        "schema": ROBUST_SCHEMA,
+        "points": [_robust_point(bare={"silent_failures": 7})],
+    }
+    robust_bad_confirmed = {
+        "schema": ROBUST_SCHEMA,
+        "points": [_robust_point(wrapped={"confirmed": 150,
+                                          "confirmed_rate": 1.5})],
+    }
+    robust_bad_epochs = {
+        "schema": ROBUST_SCHEMA,
+        "points": [_robust_point(retries=5, wrapped={"epochs_used": 100})],
+    }
     checks = [
         _expect_ok("engine schema accepts a valid doc",
                    lambda: validate_engine(engine_doc, "mem")),
@@ -646,6 +908,34 @@ def self_test():
         _expect_fail("adversary schema rejects effective > spent",
                      lambda: validate_adversary(adv_bad_effective, "mem"),
                      "adv_jams_effective"),
+        _expect_ok("robust schema accepts a valid doc (incl. phase_tracking)",
+                   lambda: validate_robust(robust_doc, "mem")),
+        _expect_ok("delivery floor passes with a bare-fails witness",
+                   lambda: check_delivery_floor(robust_doc["points"], 0.99)),
+        _expect_fail("delivery floor rejects an under-floor wrapped point",
+                     lambda: check_delivery_floor(
+                         robust_floor_breach["points"], 0.99),
+                     "below the delivery floor"),
+        _expect_fail("delivery floor demands a bare-fails witness point",
+                     lambda: check_delivery_floor(
+                         robust_no_headline["points"], 0.99),
+                     "headline"),
+        _expect_ok("overhead monotone check accepts a rising curve",
+                   lambda: check_overhead_monotonicity(
+                       robust_doc["points"], 0.05)),
+        _expect_fail("overhead monotone check rejects a falling curve",
+                     lambda: check_overhead_monotonicity(
+                         robust_overhead_drop, 0.05),
+                     "round_overhead fell"),
+        _expect_fail("robust schema rejects a broken bare breakdown",
+                     lambda: validate_robust(robust_bad_breakdown, "mem"),
+                     "!= unsolved"),
+        _expect_fail("robust schema rejects confirmed > solved",
+                     lambda: validate_robust(robust_bad_confirmed, "mem"),
+                     "> solved"),
+        _expect_fail("robust schema rejects broken epoch accounting",
+                     lambda: validate_robust(robust_bad_epochs, "mem"),
+                     "epochs_used"),
     ]
     if not all(checks):
         print("check_bench_json: self-test FAILED", file=sys.stderr)
@@ -669,6 +959,9 @@ def main():
     ap.add_argument("--monotone-tolerance", type=float, default=0.05,
                     help="allowed success_rate rise between adjacent jam "
                          "rates (default 0.05)")
+    ap.add_argument("--delivery-floor", type=float, default=0.99,
+                    help="minimum wrapped confirmed_rate required on every "
+                         "robust point (default 0.99)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the validator's own unit checks and exit")
     args = ap.parse_args()
@@ -683,6 +976,9 @@ def main():
         sys.exit(2)
     if args.monotone_tolerance < 0.0:
         print("--monotone-tolerance must be >= 0", file=sys.stderr)
+        sys.exit(2)
+    if not 0.0 <= args.delivery_floor <= 1.0:
+        print("--delivery-floor must be in [0, 1]", file=sys.stderr)
         sys.exit(2)
 
     try:

@@ -30,6 +30,7 @@
 #include "harness/registry.h"
 #include "harness/runner.h"
 #include "harness/table.h"
+#include "robust/robust.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
 #include "simd/dispatch.h"
@@ -61,15 +62,25 @@ using namespace crmc;
       "              --crash-rate P --fault-seed S   (oblivious faults)\n"
       "adversary flags (run/race/sweep — budgeted reactive jamming):\n"
       "              --adversary none|oblivious_rate|primary_camper|\n"
-      "                          greedy_reactive|random_budgeted\n"
+      "                          greedy_reactive|random_budgeted|\n"
+      "                          phase_tracking\n"
       "              --adversary-budget B (total channel-rounds)\n"
       "              --adversary-cap K    (max channels jammed per round)\n"
       "              --adversary-obs activity|full (eavesdropping strength)\n"
       "              --adversary-rate P   (oblivious_rate only)\n"
       "              --adversary-seed S   (selects the jamming schedule)\n"
+      "robust flags (run/race/sweep — confirmed-delivery wrapper):\n"
+      "              --robust             (enable the robust layer)\n"
+      "              --max-epochs E       (protocol restarts, default 8)\n"
+      "              --confirm-attempts A (echo rounds per candidate)\n"
+      "              --backoff B          (backoff base, idle rounds)\n"
+      "              --backoff-cap B      (backoff ceiling)\n"
+      "              --epoch-budget R     (watchdog rounds/epoch; 0 derives)\n"
+      "              --stall-budget R     (stall watchdog; 0 derives)\n"
       "sweep flags:  --algo NAME --vary channels|active --values a,b,c\n"
       "              --trials T --quantile Q\n"
-      "race/sweep:   --threads N splits trials over N worker threads\n"
+      "race/sweep:   --max-rounds R caps every trial\n"
+      "              --threads N splits trials over N worker threads\n"
       "              (0 = hardware concurrency; statistics are identical\n"
       "              for every N — trials are seed-indexed, not\n"
       "              thread-indexed)\n"
@@ -127,7 +138,7 @@ adversary::AdversarySpec ParseAdversaryFlags(const harness::Flags& flags) {
   if (!kind || *kind == adversary::Kind::kScripted) {
     Usage("unknown adversary '" + name +
           "' (none|oblivious_rate|primary_camper|greedy_reactive|"
-          "random_budgeted)");
+          "random_budgeted|phase_tracking)");
   }
   spec.kind = *kind;
   spec.rate = flags.GetDoubleOr("adversary-rate", 0.0);
@@ -141,6 +152,24 @@ adversary::AdversarySpec ParseAdversaryFlags(const harness::Flags& flags) {
       adversary::ParseObsMode(obs);
   if (!mode) Usage("unknown adversary-obs '" + obs + "' (activity|full)");
   spec.obs = *mode;
+  return spec;
+}
+
+// Shared robust flag block (run/race/sweep). RobustSpec::Validate rejects
+// tuning flags given without --robust with a distinct config error.
+robust::RobustSpec ParseRobustFlags(const harness::Flags& flags) {
+  robust::RobustSpec spec;
+  spec.enabled = flags.GetBoolOr("robust", false);
+  spec.max_epochs =
+      static_cast<std::int32_t>(flags.GetIntOr("max-epochs", spec.max_epochs));
+  spec.confirm_attempts = static_cast<std::int32_t>(
+      flags.GetIntOr("confirm-attempts", spec.confirm_attempts));
+  spec.backoff_base = flags.GetIntOr("backoff", spec.backoff_base);
+  spec.backoff_cap = flags.GetIntOr("backoff-cap", spec.backoff_cap);
+  spec.epoch_round_budget =
+      flags.GetIntOr("epoch-budget", spec.epoch_round_budget);
+  spec.stall_round_budget =
+      flags.GetIntOr("stall-budget", spec.stall_round_budget);
   return spec;
 }
 
@@ -183,6 +212,7 @@ int CmdRun(const harness::Flags& flags) {
   config.faults.fault_seed =
       static_cast<std::uint64_t>(flags.GetIntOr("fault-seed", 0));
   config.adversary = ParseAdversaryFlags(flags);
+  config.robust = ParseRobustFlags(flags);
   config.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
   RejectUnknownFlags(flags);
 
@@ -227,6 +257,12 @@ int CmdRun(const harness::Flags& flags) {
               << config.adversary.budget << " jams, " << r.adv_jams_effective
               << " suppressed a lone delivery\n";
   }
+  if (config.robust.enabled) {
+    std::cout << "robust: " << (r.confirmed ? "confirmed" : "UNCONFIRMED")
+              << ", epochs " << r.epochs_used << " (retries " << r.retries
+              << "), confirm rounds " << r.confirm_rounds
+              << ", backoff rounds " << r.backoff_rounds << "\n";
+  }
   for (const char* phase : {"reduce_done", "rename_done", "elect_done"}) {
     const std::int64_t mark = r.LastPhaseMark(phase);
     // Marks record the round index after the step = rounds consumed.
@@ -240,37 +276,45 @@ int CmdRace(const harness::Flags& flags) {
   spec.num_active = static_cast<std::int32_t>(flags.GetIntOr("active", 100));
   spec.population = flags.GetIntOr("population", 1 << 20);
   spec.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
+  spec.max_rounds = flags.GetIntOr("max-rounds", spec.max_rounds);
   spec.use_batch_engine = !flags.GetBoolOr("no-batch", false);
   spec.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
   spec.adversary = ParseAdversaryFlags(flags);
+  spec.robust = ParseRobustFlags(flags);
   const auto trials = static_cast<std::int32_t>(flags.GetIntOr("trials", 200));
   const auto threads =
       static_cast<std::int32_t>(flags.GetIntOr("threads", 0));
   RejectUnknownFlags(flags);
 
   // Under an adversary the failure *breakdown* is the story (timeouts vs
-  // wedged livelocks) plus how much budget the jammer actually landed.
+  // wedged livelocks vs deluded silent exits) plus how much budget the
+  // jammer actually landed. With the robust wrapper on, confirmed
+  // deliveries and epoch consumption join the table.
   const bool adv = spec.adversary.Budgeted();
-  harness::Table table(
-      adv ? std::vector<std::string>{"algorithm", "mean", "p95", "max",
-                                     "unsolved", "timed_out", "wedged",
-                                     "adv_spent", "adv_effective"}
-          : std::vector<std::string>{"algorithm", "mean", "p95", "max",
-                                     "unsolved"});
+  const bool rob = spec.robust.enabled;
+  std::vector<std::string> columns{"algorithm", "mean", "p95", "max",
+                                   "unsolved"};
+  if (adv) {
+    columns.insert(columns.end(), {"timed_out", "wedged", "deluded",
+                                   "adv_spent", "adv_effective"});
+  }
+  if (rob) columns.insert(columns.end(), {"confirmed", "epochs"});
+  harness::Table table(columns);
   for (const harness::AlgorithmInfo& info : harness::Algorithms()) {
     if (info.requires_two_active && spec.num_active != 2) continue;
     const harness::TrialSetResult r = harness::RunTrials(
         spec, harness::HandleFor(info), trials, /*keep_runs=*/false, threads);
+    auto row = table.Row();
+    row.Cells(info.name, r.summary.mean, r.summary.p95, r.summary.max,
+              static_cast<std::int64_t>(r.unsolved));
     if (adv) {
-      table.Row().Cells(info.name, r.summary.mean, r.summary.p95,
-                        r.summary.max, static_cast<std::int64_t>(r.unsolved),
-                        static_cast<std::int64_t>(r.timed_out),
-                        static_cast<std::int64_t>(r.wedged),
-                        r.adv_jams_spent, r.adv_jams_effective);
-    } else {
-      table.Row().Cells(info.name, r.summary.mean, r.summary.p95,
-                        r.summary.max,
-                        static_cast<std::int64_t>(r.unsolved));
+      row.Cells(static_cast<std::int64_t>(r.timed_out),
+                static_cast<std::int64_t>(r.wedged),
+                static_cast<std::int64_t>(r.deluded), r.adv_jams_spent,
+                r.adv_jams_effective);
+    }
+    if (rob) {
+      row.Cells(static_cast<std::int64_t>(r.confirmed), r.epochs_used);
     }
   }
   table.Print(std::cout);
@@ -288,9 +332,11 @@ int CmdSweep(const harness::Flags& flags) {
   base.num_active = static_cast<std::int32_t>(flags.GetIntOr("active", 4096));
   base.population = flags.GetIntOr("population", 1 << 20);
   base.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
+  base.max_rounds = flags.GetIntOr("max-rounds", base.max_rounds);
   base.use_batch_engine = !flags.GetBoolOr("no-batch", false);
   base.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
   base.adversary = ParseAdversaryFlags(flags);
+  base.robust = ParseRobustFlags(flags);
   const auto threads =
       static_cast<std::int32_t>(flags.GetIntOr("threads", 0));
   RejectUnknownFlags(flags);
