@@ -12,13 +12,22 @@
 //                    (sim::BatchEngine) over identical seeds across an
 //                    n x C grid, times the simd kernels per backend, and
 //                    writes the machine-readable artifact (schema
-//                    crmc.bench_engine.v2) consumed by
+//                    crmc.bench_engine.v3) consumed by
 //                    tools/check_bench_json.py. `--quick` shrinks trial
 //                    counts for CI; `--trials-scale <f>` scales them;
 //                    `--rng xoshiro|philox` picks the draw generator for
 //                    both engines (default xoshiro, matching the v1
 //                    baseline generator so speedups isolate engine work;
-//                    philox is the counter-based reproducibility mode).
+//                    philox is the counter-based reproducibility mode);
+//                    `--lanes W` sets the trial-parallel lane width.
+//
+// v3 adds a `trial` block to every grid point whose protocol ships a
+// trial-parallel twin (sim::TrialBatchEngine): the per-trial batch path and
+// the trial-parallel executor timed over the SAME seeds, both under philox
+// (the executor's required generator), so the executor comparison is at
+// equal RNG and isolates the lanes-across-trials win. The top-level
+// engines.{coroutine,batch} block keeps the --rng generator (default
+// xoshiro) so v1/v2 baselines stay directly comparable.
 //
 // The grid mode also cross-checks that both engines solved every trial in
 // the same round — the throughput comparison is only meaningful if the two
@@ -44,6 +53,7 @@
 #include "sim/batch_engine.h"
 #include "sim/engine.h"
 #include "sim/step_program.h"
+#include "sim/trial_engine.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
 #include "support/assert.h"
@@ -117,6 +127,31 @@ EngineStats TimeOnePass(std::int32_t trials, std::int32_t num_active,
   }
   const auto end = std::chrono::steady_clock::now();
   stats.seconds = std::chrono::duration<double>(end - start).count();
+  return stats;
+}
+
+// One timed pass of the trial-parallel executor over the whole seed set
+// (one Run call — the engine chunks into lanes internally). The timed
+// window covers exactly the work TimeOnePass times per trial; the
+// accumulation below is identical so the outcome checksums are comparable
+// engine-to-engine.
+EngineStats TimeTrialPass(sim::TrialBatchEngine& engine,
+                          const sim::EngineConfig& config,
+                          sim::StepProgram& program,
+                          const std::vector<std::uint64_t>& seeds,
+                          std::vector<sim::RunResult>& results,
+                          std::int32_t num_active) {
+  EngineStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  engine.Run(config, program, seeds, results);
+  const auto end = std::chrono::steady_clock::now();
+  stats.seconds = std::chrono::duration<double>(end - start).count();
+  for (const sim::RunResult& r : results) {
+    stats.rounds += r.rounds_executed;
+    stats.node_rounds += r.rounds_executed * num_active;
+    stats.outcome_checksum +=
+        r.rounds_executed * 131 + (r.solved ? r.solved_round : -1);
+  }
   return stats;
 }
 
@@ -296,6 +331,10 @@ int RunJsonGrid(const harness::Flags& flags) {
       support::ParseRngKind(rng_name);
   CRMC_REQUIRE_MSG(rng_kind.has_value(),
                    "--rng must be xoshiro or philox, got " << rng_name);
+  const auto lane_width = static_cast<std::int32_t>(
+      flags.GetIntOr("lanes", sim::TrialBatchEngine::kDefaultLaneWidth));
+  CRMC_REQUIRE_MSG(lane_width >= 1,
+                   "--lanes must be >= 1, got " << lane_width);
   const auto unconsumed = flags.UnconsumedFlags();
   if (!unconsumed.empty()) {
     std::cerr << "unknown flag: --" << unconsumed.front() << "\n";
@@ -309,13 +348,14 @@ int RunJsonGrid(const harness::Flags& flags) {
   CRMC_REQUIRE_MSG(out.good(), "cannot open --json path " << path);
   harness::JsonWriter w(out);
   w.BeginObject();
-  w.Key("schema").Value("crmc.bench_engine.v2");
+  w.Key("schema").Value("crmc.bench_engine.v3");
   w.Key("mode").Value(quick ? "quick" : "full");
   w.Key("metadata").BeginObject();
   w.Key("cpu").Value(CpuModelName());
   w.Key("compiler").Value(__VERSION__);
   w.Key("dispatch").Value(simd::ToString(simd::ActiveBackend()));
   w.Key("rng").Value(support::ToString(*rng_kind));
+  w.Key("lane_width").Value(static_cast<std::int64_t>(lane_width));
   w.EndObject();
   w.Key("points").BeginArray();
 
@@ -330,6 +370,15 @@ int RunJsonGrid(const harness::Flags& flags) {
     sim::BatchEngine engine;
     EngineStats coro;
     EngineStats batch;
+    // v3 trial-parallel comparison (points with a TrialProgram twin only):
+    // batch vs trial executor over the same seeds, both under philox.
+    bool has_trial = false;
+    sim::EngineConfig philox_config;
+    std::unique_ptr<sim::TrialBatchEngine> trial_engine;
+    std::vector<std::uint64_t> seeds;
+    std::vector<sim::RunResult> trial_results;
+    EngineStats batch_philox;
+    EngineStats trial;
   };
   std::vector<std::unique_ptr<PointRun>> points;
   for (const GridPoint& p : kGrid) {
@@ -347,6 +396,18 @@ int RunJsonGrid(const harness::Flags& flags) {
     pr->config.num_active = p.num_active;
     pr->config.channels = p.channels;
     pr->config.rng = *rng_kind;
+    pr->has_trial = pr->program->MakeTrialProgram() != nullptr;
+    if (pr->has_trial) {
+      pr->philox_config = pr->config;
+      pr->philox_config.rng = support::RngKind::kPhilox;
+      pr->trial_engine = std::make_unique<sim::TrialBatchEngine>(lane_width);
+      pr->seeds.resize(static_cast<std::size_t>(pr->trials));
+      for (std::int32_t t = 0; t < pr->trials; ++t) {
+        pr->seeds[static_cast<std::size_t>(t)] =
+            kSeedBase + static_cast<std::uint64_t>(t);
+      }
+      pr->trial_results.resize(pr->seeds.size());
+    }
     points.push_back(std::move(pr));
   }
 
@@ -382,9 +443,43 @@ int RunJsonGrid(const harness::Flags& flags) {
       KeepBest(pr->batch,
                TimeOnePass(pr->trials, pr->p->num_active, run_batch),
                rep == 0);
+      if (!pr->has_trial) continue;
+      // v3 comparison passes: per-trial batch and trial-parallel executor
+      // over the same seeds, both under philox (equal-RNG comparison). The
+      // two engines ALTERNATE A/B within the rep rather than each being
+      // timed once: the ratio between them is what the artifact gate
+      // checks, and a fixed ordering (trial always last, right after
+      // seconds of hot coroutine work) let scheduler/clock windows bias
+      // the ratio systematically. Alternating pairs sample the same
+      // windows for both sides; KeepBest still takes the per-engine best.
+      auto run_batch_philox = [&](std::uint64_t seed) {
+        pr->philox_config.seed = seed;
+        return pr->engine.Run(pr->philox_config, *pr->program);
+      };
+      if (rep == 0) {
+        for (std::int32_t t = 0; t < pr->trials; ++t) {
+          (void)run_batch_philox(kSeedBase + static_cast<std::uint64_t>(t));
+        }
+        pr->trial_engine->Run(pr->philox_config, *pr->program, pr->seeds,
+                              pr->trial_results);
+      }
+      constexpr int kAbPairs = 3;
+      for (int sub = 0; sub < kAbPairs; ++sub) {
+        KeepBest(pr->batch_philox,
+                 TimeOnePass(pr->trials, pr->p->num_active, run_batch_philox),
+                 rep == 0 && sub == 0);
+        KeepBest(pr->trial,
+                 TimeTrialPass(*pr->trial_engine, pr->philox_config,
+                               *pr->program, pr->seeds, pr->trial_results,
+                               pr->p->num_active),
+                 rep == 0 && sub == 0);
+      }
     }
   }
 
+  harness::Table trial_table({"protocol", "n", "active", "C", "lanes",
+                              "batch(philox) trials/s", "trial trials/s",
+                              "speedup"});
   for (const std::unique_ptr<PointRun>& point : points) {
     const GridPoint& p = *point->p;
     const std::int32_t trials = point->trials;
@@ -417,6 +512,36 @@ int RunJsonGrid(const harness::Flags& flags) {
     WriteEngineStats(w, batch, trials);
     w.EndObject();
     w.Key("speedup_trials_per_sec").Value(speedup);
+    if (point->has_trial) {
+      // The executor must be running the same Monte-Carlo experiment as
+      // the per-trial batch path — bit-exactness is what makes the
+      // speedup a like-for-like number.
+      CRMC_CHECK_MSG(
+          point->trial.outcome_checksum == point->batch_philox.outcome_checksum,
+          "trial executor divergence at " << p.protocol << " n="
+                                          << p.population);
+      const double trial_speedup =
+          Rate(trials, point->trial.seconds) /
+          std::max(Rate(trials, point->batch_philox.seconds), 1e-12);
+      trial_table.Row().Cells(
+          p.protocol, p.population, static_cast<std::int64_t>(p.num_active),
+          static_cast<std::int64_t>(p.channels),
+          static_cast<std::int64_t>(lane_width),
+          harness::FormatDouble(Rate(trials, point->batch_philox.seconds), 1),
+          harness::FormatDouble(Rate(trials, point->trial.seconds), 1),
+          harness::FormatDouble(trial_speedup, 2));
+      w.Key("trial").BeginObject();
+      w.Key("lane_width").Value(static_cast<std::int64_t>(lane_width));
+      w.Key("rng").Value("philox");
+      w.Key("engines").BeginObject();
+      w.Key("batch");
+      WriteEngineStats(w, point->batch_philox, trials);
+      w.Key("trial_batch");
+      WriteEngineStats(w, point->trial, trials);
+      w.EndObject();
+      w.Key("speedup_trials_per_sec").Value(trial_speedup);
+      w.EndObject();
+    }
     w.EndObject();
   }
 
@@ -443,6 +568,7 @@ int RunJsonGrid(const harness::Flags& flags) {
   out.close();
 
   table.Print(std::cout);
+  trial_table.Print(std::cout);
   ktable.Print(std::cout);
   std::cout << "wrote " << path << "\n";
   return 0;

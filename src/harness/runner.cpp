@@ -1,9 +1,11 @@
 #include "harness/runner.h"
 
 #include <atomic>
+#include <span>
 #include <thread>
 
 #include "sim/batch_engine.h"
+#include "sim/trial_engine.h"
 #include "support/assert.h"
 
 namespace crmc::harness {
@@ -13,6 +15,7 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
                          std::int32_t threads) {
   CRMC_REQUIRE(trials >= 1);
   CRMC_REQUIRE(protocol.coroutine != nullptr);
+  CRMC_REQUIRE(spec.lane_width >= 1);
   if (threads <= 0) {
     threads = static_cast<std::int32_t>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 4;
@@ -21,17 +24,27 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
 
   const bool batch = protocol.step_program != nullptr &&
                      spec.use_batch_engine && !keep_runs;
+  // Trial-parallel lanes: workers claim blocks of lane_width consecutive
+  // trials and run them as one lockstep chunk. Block boundaries only group
+  // work — every trial's result is a pure function of its per-trial config,
+  // so statistics are bit-identical across any threads x lane-width split.
+  const bool lanes = batch && spec.lane_width > 1;
+  const std::int32_t stride = lanes ? spec.lane_width : 1;
 
   std::vector<sim::RunResult> runs(static_cast<std::size_t>(trials));
   std::atomic<std::int32_t> next{0};
   auto worker = [&]() {
-    // Per-worker scratch for the fast path: the engine and the program
+    // Per-worker scratch for the fast path: the engines and the program
     // instance are reused across every trial this worker claims.
     sim::BatchEngine batch_engine;
+    batch_engine.set_fused_rounds(spec.fused_rounds);
+    sim::TrialBatchEngine trial_engine(stride);
+    trial_engine.set_fused_rounds(spec.fused_rounds);
     std::unique_ptr<sim::StepProgram> program;
     if (batch) program = protocol.step_program();
+    std::vector<std::uint64_t> seeds;
     for (;;) {
-      const std::int32_t t = next.fetch_add(1);
+      const std::int32_t t = next.fetch_add(stride);
       if (t >= trials) return;
       sim::EngineConfig config;
       config.population = spec.population;
@@ -45,6 +58,19 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
       config.faults = spec.faults;
       config.adversary = spec.adversary;
       config.robust = spec.robust;
+      if (lanes) {
+        const std::int32_t count = std::min(stride, trials - t);
+        seeds.resize(static_cast<std::size_t>(count));
+        for (std::int32_t i = 0; i < count; ++i) {
+          seeds[static_cast<std::size_t>(i)] =
+              spec.base_seed + static_cast<std::uint64_t>(t + i);
+        }
+        trial_engine.Run(config, *program, seeds,
+                         std::span<sim::RunResult>(runs).subspan(
+                             static_cast<std::size_t>(t),
+                             static_cast<std::size_t>(count)));
+        continue;
+      }
       runs[static_cast<std::size_t>(t)] =
           batch ? batch_engine.Run(config, *program)
                 : sim::Engine::Run(config, protocol.coroutine);

@@ -28,6 +28,18 @@ struct TrialSpec {
   // Opt-out for the BatchEngine fast path: when false, trials always run
   // on the coroutine engine even if the protocol ships a step program.
   bool use_batch_engine = true;
+  // Trials per lockstep chunk of the trial-parallel executor
+  // (sim/trial_engine.h). 1 (the default) keeps the per-trial batch path;
+  // > 1 makes each worker claim blocks of this many consecutive trials and
+  // run them as SIMD lanes — requires rng == kPhilox (the executor rejects
+  // xoshiro) and a step program. Results are bit-identical to lane width 1
+  // for any width and thread count: every trial is a pure function of its
+  // per-trial config, so sharding changes nothing but wall-clock.
+  std::int32_t lane_width = 1;
+  // Opt-out for fused fast rounds (BatchEngine::set_fused_rounds, and the
+  // trial executor's lane rounds): when false every trial runs the generic
+  // materialized path — bit-identical results, for debugging (--no-fused).
+  bool fused_rounds = true;
   // Core generator for every trial's draw streams. Either kind keeps the
   // batch/coroutine engines bit-identical; philox draws are counter-based
   // (lane-reproducible and SIMD-vectorizable), xoshiro keeps the

@@ -69,10 +69,14 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
   // share identical bounds/phase") that only hold while every past round
   // was pristine: a single jam can split previously-lockstep node states
   // (one node sees a forced collision where its peer saw a clean delivery),
-  // and the programs do not re-verify the invariant per round. So the first
-  // materialized jam permanently pins the run to the generic path — an
-  // observation-free adversary with budget 0 (or one that never fires)
-  // still fuses every round.
+  // and the programs do not re-verify the invariant per round. A
+  // materialized jam therefore drops the run to the generic path — but only
+  // until the program reports the split healed: on every later jam-free
+  // round the engine asks LockstepRestored whether the survivors are back
+  // in a fused-representable shape and re-fuses when they are, so a
+  // budget-k adversary costs O(k) materialized windows instead of pinning
+  // the whole run (an observation-free adversary with budget 0, or one
+  // that never fires, still fuses every round).
   bool adv_perturbed = false;
 
   // Shared accounting for every resolved round, protocol and fabricated
@@ -189,11 +193,16 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
       const std::span<const mac::ChannelId> adv_jams =
           adversary.PlanRound(round, config.channels);
       adv_perturbed = adv_perturbed || !adv_jams.empty();
+      if (fast_rounds && adv_perturbed && adv_jams.empty() &&
+          program.LockstepRestored(ctx, alive_)) {
+        adv_perturbed = false;  // the jam-induced split healed: re-fuse
+      }
 
       if (fast_rounds && !adv_perturbed) {
         finished_.assign(m, 0);
         FastRoundEffects fx;
         if (program.FastRound(ctx, alive_, node_tx_, finished_, &fx)) {
+          ++result.fused_rounds;
           result.total_transmissions += fx.transmissions;
           if (fx.primary_lone_delivered) {
             if (!result.solved) {

@@ -27,6 +27,7 @@
 #include "sim/task.h"
 #include "sim/trace.h"
 #include "support/rng.h"
+#include "support/small_vector.h"
 
 namespace crmc::sim {
 
@@ -111,8 +112,9 @@ struct RunResult {
   std::int64_t solved_round = -1;
   // Every round with a lone primary-channel transmitter, in order. For
   // one-shot contention resolution only the first matters; repeated-use
-  // protocols (k-selection) solve once per instance.
-  std::vector<std::int64_t> all_solved_rounds;
+  // protocols (k-selection) solve once per instance. Inline storage keeps
+  // the common one-entry case malloc-free (support/small_vector.h).
+  support::SmallVector<std::int64_t, 2> all_solved_rounds;
   // Rounds actually executed before the run stopped.
   std::int64_t rounds_executed = 0;
   // True if the run stopped because max_rounds was reached.
@@ -120,6 +122,13 @@ struct RunResult {
   // True if every protocol coroutine ran to completion.
   bool all_terminated = false;
   std::int64_t total_transmissions = 0;
+  // Rounds executed on a fused fast path (StepProgram::FastRound in
+  // BatchEngine, lockstep lane rounds in TrialBatchEngine). Executor
+  // diagnostics, not model output: the coroutine engine materializes every
+  // round and always leaves this 0, so it is excluded from cross-engine
+  // parity comparisons. The jammed-run regression test uses it to pin down
+  // that a perturbed run re-enters the fused path once lockstep restores.
+  std::int64_t fused_rounds = 0;
   // Energy accounting: the largest and mean number of transmissions any
   // single node performed (the radio-network energy metric).
   std::int64_t max_node_transmissions = 0;

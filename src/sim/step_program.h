@@ -56,6 +56,86 @@ struct FastRoundEffects {
   bool primary_lone_delivered = false;  // primary channel had exactly 1
 };
 
+// ---------------------------------------------------------------------------
+// Trial-parallel execution (sim/trial_engine.h): lanes are whole trials.
+//
+// Within one trial the SIMD kernels can only vectorize across alive nodes,
+// which in the small-|A| regimes the paper cares about (two_active is |A|=2)
+// leaves vector units mostly idle. With counter-based Philox streams, draw i
+// of stream s is a pure function of (key, s, i), so W *independent trials*
+// can instead run in lockstep: per-(lane, node) streams live in one flat
+// [lane * num_active + node] plane and each round's draws are gathered into
+// slot lists spanning all lanes, which the existing simd:: kernels then
+// evaluate in one vectorized pass. A TrialProgram is the protocol's
+// lane-parallel twin: it owns [lane][node] state planes and executes one
+// lockstep round for every live lane per call.
+
+// Read-only parameters plus the engine-owned flat planes for one
+// trial-parallel run. `rng[lane * num_active + node]` is the stream the
+// coroutine engine hands node `node` of the trial seeded seeds[lane]
+// (ForStream(seed, node + 1)). Spans stay valid for one TrialBatchEngine
+// chunk. There is no unique_ids plane: no shipped lane program consumes
+// sampled IDs (two_active's draws live on per-node streams), and the
+// engine's results do not depend on the separate ID stream.
+struct TrialContext {
+  std::int64_t population = 0;
+  std::int32_t num_active = 0;
+  std::int32_t channels = 1;
+  std::int64_t round = 0;  // 0-based lockstep round being executed
+  std::span<support::RandomSource> rng;
+};
+
+// What one lockstep round did to one lane — FastRoundEffects plus the
+// lane-lifecycle bits the trial engine needs for retirement.
+struct LaneEffects {
+  std::int64_t transmissions = 0;
+  std::int64_t lone_deliveries = 0;
+  bool primary_lone_delivered = false;
+  // Every node of the lane terminated this round (shipped lane programs
+  // finish all-or-nothing; a program whose nodes retire gradually keeps
+  // per-lane alive counts internally and sets this on the last node).
+  bool finished = false;
+  // The lane left the lockstep-representable state set. The trial engine
+  // retires it and re-runs that seed from scratch on the per-trial batch
+  // path (with freshly seeded streams, so partial draw consumption in the
+  // aborted round is harmless) — results stay bit-exact because every run
+  // is a pure function of its config. A diverged lane's other effect
+  // fields are ignored.
+  bool diverged = false;
+};
+
+// One protocol over [lane][node] state planes, executing W independent
+// trials in lockstep. Instances come from StepProgram::MakeTrialProgram and
+// are reusable (Reset) but not thread-safe, like their per-trial twins.
+//
+// Draw-order contract: within each lane, the per-node streams are consumed
+// exactly as the per-trial FastRound/EmitActions path would consume them —
+// lanes touch disjoint stream slots, so cross-lane kernel batching cannot
+// reorder draws within a stream and every lane stays bit-exact against a
+// solo run of its seed.
+class TrialProgram {
+ public:
+  virtual ~TrialProgram() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Sizes the state planes for `lanes` lanes of ctx.num_active nodes each
+  // and sets every lane to its initial state. Returns false when the shape
+  // is outside the program's lockstep-representable set (e.g. two_active
+  // with num_active != 2 outside duel mode); the engine then runs every
+  // trial on the per-trial fallback path instead.
+  virtual bool Reset(const TrialContext& ctx, std::int32_t lanes) = 0;
+
+  // Executes one lockstep round for every lane in `lanes` (live lane
+  // indices, ascending). Writes effects[k] for lane lanes[k] (`effects`
+  // arrives zeroed) and charges transmissions into the flat
+  // node_tx[lane * num_active + node] plane.
+  virtual void Round(const TrialContext& ctx,
+                     std::span<const std::int32_t> lanes,
+                     std::span<std::int64_t> node_tx,
+                     std::span<LaneEffects> effects) = 0;
+};
+
 // One protocol as an explicit state machine over columnar node state.
 //
 // Contract (mirrors one engine round):
@@ -118,6 +198,31 @@ class StepProgram {
     (void)finished;
     (void)effects;
     return false;
+  }
+
+  // True iff the survivors' state currently satisfies every lockstep
+  // invariant FastRound assumes, so the engine may (re-)enter the fused
+  // path. A materialized jam can split previously-lockstep node states; the
+  // engine queries this after jam-free materialized rounds to detect that
+  // the split healed (e.g. two_active's duel has no cross-node invariant at
+  // all, and its search pair re-syncs once both nodes share bounds again).
+  // Must be side-effect-free. The conservative default keeps a perturbed
+  // run pinned to the generic path forever — correct for programs whose
+  // invariants span rounds that already happened (the composed general
+  // program's stage bookkeeping).
+  virtual bool LockstepRestored(const BatchContext& ctx,
+                                std::span<const NodeId> alive) {
+    (void)ctx;
+    (void)alive;
+    return false;
+  }
+
+  // Returns the protocol's trial-parallel twin (a fresh instance carrying
+  // the same parameters), or nullptr when the protocol has none — the
+  // trial engine (sim/trial_engine.h) then falls back to per-trial
+  // BatchEngine runs, which stay bit-exact by construction.
+  virtual std::unique_ptr<TrialProgram> MakeTrialProgram() const {
+    return nullptr;
   }
 };
 

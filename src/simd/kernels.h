@@ -15,6 +15,16 @@
 // computed with no cross-draw dependency. Xoshiro-mode lanes are sequential
 // by construction and take the scalar loop regardless of backend — the
 // kernels accept them so callers need no mode check.
+//
+// Slot lists are just indices into the caller's RandomSource span; nothing
+// requires them to address one trial. The trial-parallel executor
+// (sim/trial_engine.h) exploits exactly this: it flattens W independent
+// trials' per-node streams into one [lane * num_active + node] plane and
+// hands the draw kernels slot lists spanning every lane, so a single
+// CoinMask/UniformFill call vectorizes Philox evaluation *across trials* —
+// the regime where per-trial batches are too short to fill vector lanes.
+// Per-slot draw order is unchanged (each slot is an independent stream),
+// so every lane stays bit-exact against a solo run of its seed.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,120 @@
+// Inline-storage vector for per-trial result fields.
+//
+// A Monte-Carlo sweep materializes one RunResult per trial, and a one-shot
+// contention-resolution trial appends exactly one solved round — so a
+// std::vector field costs every trial a malloc (the first push_back) and a
+// free (when the result slot is reused), a constant that dominates the
+// per-trial epilogue at batch-engine throughputs. SmallVector keeps up to
+// N elements inline and only touches the heap past that; repeated-use
+// protocols (k-selection records one entry per delivered packet) spill and
+// behave like a plain vector.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace crmc::support {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "inline storage relies on memcpy relocation");
+  static_assert(N > 0);
+
+ public:
+  SmallVector() = default;
+  SmallVector(const SmallVector& other) { CopyFrom(other); }
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      Release();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~SmallVector() { Release(); }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow();
+    data_[size_++] = value;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void CopyFrom(const SmallVector& other) {
+    size_ = other.size_;
+    if (size_ > N) {
+      capacity_ = other.capacity_;
+      data_ = new T[capacity_];
+    } else {
+      capacity_ = N;
+      data_ = inline_;
+    }
+    std::memcpy(data_, other.data_, size_ * sizeof(T));
+  }
+
+  // Leaves `other` empty and pointing at its inline storage.
+  void MoveFrom(SmallVector& other) {
+    size_ = other.size_;
+    if (other.data_ != other.inline_) {  // steal the heap buffer
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+    } else {
+      data_ = inline_;
+      capacity_ = N;
+      std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+    }
+    other.data_ = other.inline_;
+    other.capacity_ = N;
+    other.size_ = 0;
+  }
+
+  void Release() {
+    if (data_ != inline_) delete[] data_;
+    data_ = inline_;
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void Grow() {
+    const std::size_t next = capacity_ * 2;
+    T* grown = new T[next];
+    std::memcpy(grown, data_, size_ * sizeof(T));
+    if (data_ != inline_) delete[] data_;
+    data_ = grown;
+    capacity_ = next;
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace crmc::support

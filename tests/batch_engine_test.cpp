@@ -427,6 +427,99 @@ TEST(BatchEngine, FusedRoundsMatchGenericPath) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fused-round accounting, and re-fusing after a materialized adversary jam
+// (the adv_perturbed pin used to be permanent: one jam sent the rest of the
+// run down the generic path even after the lanes healed).
+// ---------------------------------------------------------------------------
+
+TEST(BatchEngineFused, CounterCountsEveryFusedRound) {
+  EngineConfig config;
+  config.population = 1 << 12;
+  config.num_active = 2;
+  config.channels = 16;
+  auto program = MakeTwoActiveProgram();
+  BatchEngine fused;
+  BatchEngine generic;
+  generic.set_fused_rounds(false);
+  for (int t = 0; t < 200; ++t) {
+    config.seed = 61'000 + static_cast<std::uint64_t>(t);
+    const RunResult a = fused.Run(config, *program);
+    // Pristine two_active fuses every round, the solving round included.
+    EXPECT_EQ(a.fused_rounds, a.rounds_executed);
+    const RunResult b = generic.Run(config, *program);
+    EXPECT_EQ(b.fused_rounds, 0);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(BatchEngineFused, ScriptedJamReFusesDuel) {
+  // C = 1 duel: the duel is *always* in lockstep, so a scripted jam costs
+  // the generic path exactly its own round — the very next planned round
+  // re-fuses. That gives an exact formula for the counter: every executed
+  // round is fused except the jammed ones.
+  EngineConfig config;
+  config.population = 1024;
+  config.num_active = 2;
+  config.channels = 1;
+  config.adversary.kind = adversary::Kind::kScripted;
+  config.adversary.budget = 2;
+  config.adversary.per_round_cap = 1;
+  config.adversary.script.push_back({2, 1});
+  config.adversary.script.push_back({5, 1});
+  auto program = MakeTwoActiveProgram();
+  BatchEngine engine;
+  for (int t = 0; t < 500; ++t) {
+    config.seed = 62'000 + static_cast<std::uint64_t>(t);
+    const RunResult batch = engine.Run(config, *program);
+    std::int64_t jammed = 0;
+    for (const std::int64_t r : {2, 5}) {
+      if (r < batch.rounds_executed) ++jammed;
+    }
+    EXPECT_EQ(batch.fused_rounds, batch.rounds_executed - jammed)
+        << "seed=" << config.seed
+        << " rounds_executed=" << batch.rounds_executed;
+    const RunResult coro = Engine::Run(config, core::MakeTwoActive());
+    ExpectSameResult(coro, batch, config.seed);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(BatchEngineFused, ScriptedJamReFusesMultiChannel) {
+  // C = 16: a single jam in round 1 lands mid-rename/search, where it may
+  // genuinely split the pair's phases (those runs stay generic — correct).
+  // But on a healthy fraction of seeds the lanes stay or return to
+  // lockstep, and the LockstepRestored probe must re-fuse them: more fused
+  // rounds than the single pre-jam round. Without re-fusing the counter
+  // could never exceed 1 on any seed.
+  EngineConfig config;
+  config.population = 256;
+  config.num_active = 2;
+  config.channels = 16;
+  config.adversary.kind = adversary::Kind::kScripted;
+  config.adversary.budget = 1;
+  config.adversary.script.push_back({1, 1});
+  auto program = MakeTwoActiveProgram();
+  BatchEngine engine;
+  int eligible = 0;
+  int refused = 0;
+  for (int t = 0; t < 500; ++t) {
+    config.seed = 63'000 + static_cast<std::uint64_t>(t);
+    const RunResult batch = engine.Run(config, *program);
+    const RunResult coro = Engine::Run(config, core::MakeTwoActive());
+    ExpectSameResult(coro, batch, config.seed);
+    if (::testing::Test::HasFailure()) return;
+    if (batch.rounds_executed < 3) continue;  // no post-jam round executed
+    ++eligible;
+    // Round 0 fused, round 1 was the jam's generic round: any further
+    // fused round means the run re-fused.
+    if (batch.fused_rounds > 1) ++refused;
+  }
+  ASSERT_GT(eligible, 0);
+  EXPECT_GT(refused, eligible / 4)
+      << refused << " of " << eligible << " eligible runs re-fused";
+}
+
 // Scratch reuse across *different* shapes: one engine instance must give
 // the same answers as fresh instances when the channel count (and thus the
 // resolver) changes between runs.

@@ -9,6 +9,7 @@
 
 #include "support/bits.h"
 #include "support/rng.h"
+#include "support/small_vector.h"
 
 namespace crmc::support {
 namespace {
@@ -229,6 +230,42 @@ TEST(Rng, BatchBernoulliDegenerateConsumesNoDraw) {
   EXPECT_TRUE(always.Draw(used));
   // Matches RandomSource::Bernoulli, which early-outs without a draw.
   EXPECT_EQ(used.NextU64(), twin.NextU64());
+}
+
+TEST(SmallVector, InlineThenSpill) {
+  SmallVector<std::int64_t, 2> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(7);
+  v.push_back(8);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v.back(), 8);
+  for (std::int64_t i = 0; i < 100; ++i) v.push_back(i);  // heap spill
+  EXPECT_EQ(v.size(), 102u);
+  EXPECT_EQ(v[1], 8);
+  EXPECT_EQ(v[2], 0);
+  EXPECT_EQ(v.back(), 99);
+}
+
+TEST(SmallVector, CopyMoveEquality) {
+  SmallVector<std::int64_t, 2> a;
+  a.push_back(1);
+  SmallVector<std::int64_t, 2> b = a;  // inline copy
+  EXPECT_TRUE(a == b);
+  b.push_back(2);
+  EXPECT_FALSE(a == b);
+
+  for (std::int64_t i = 0; i < 50; ++i) a.push_back(i);  // spilled source
+  SmallVector<std::int64_t, 2> c = a;                    // heap copy
+  EXPECT_TRUE(a == c);
+  SmallVector<std::int64_t, 2> d = std::move(a);  // heap steal
+  EXPECT_TRUE(c == d);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): spec'd reset
+  a = d;                   // reassign after move-out
+  EXPECT_TRUE(a == c);
+  d = std::move(b);  // inline move over a heap target
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[1], 2);
 }
 
 }  // namespace

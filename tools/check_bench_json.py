@@ -21,6 +21,19 @@ Supports three schemas, dispatched on the artifact's "schema" field:
       works across versions in both directions (a v1 baseline gates a v2
       artifact and vice versa).
 
+  crmc.bench_engine.v3   v2 plus the trial-parallel executor comparison:
+      metadata gains "lane_width" (positive int) and every grid point whose
+      protocol has a trial-parallel twin gains a "trial" object —
+      lane_width, rng ("philox": both sides of the comparison run the
+      executor's required generator), engines.{batch,trial_batch} with the
+      usual metrics, and speedup_trials_per_sec (trial_batch vs batch).
+      The top-level engines block still uses the artifact's metadata.rng,
+      so --baseline keeps working across v1/v2/v3 in both directions.
+      --min-trial-speedup <f> additionally requires
+      trial.speedup_trials_per_sec >= f on every small-active point
+      (num_active <= 16) carrying a trial block, and fails if no such
+      point exists (the floor must not pass vacuously).
+
   crmc.bench_faults.v1   fault-degradation grid (bench_fault_tolerance
       --json). Validates the schema, cross-checks the counters
       (solved + unsolved == trials, success_rate consistent), and enforces
@@ -65,6 +78,12 @@ import sys
 
 ENGINE_SCHEMA = "crmc.bench_engine.v1"
 ENGINE_SCHEMA_V2 = "crmc.bench_engine.v2"
+ENGINE_SCHEMA_V3 = "crmc.bench_engine.v3"
+ENGINE_SCHEMAS = (ENGINE_SCHEMA, ENGINE_SCHEMA_V2, ENGINE_SCHEMA_V3)
+# --min-trial-speedup only gates small-active points: lanes-across-trials
+# targets the regime where per-trial vectors are too short to fill SIMD
+# lanes; at large num_active the per-trial batch path is already wide.
+TRIAL_SPEEDUP_MAX_ACTIVE = 16
 FAULTS_SCHEMA = "crmc.bench_faults.v1"
 ADVERSARY_SCHEMA = "crmc.bench_adversary.v1"
 ROBUST_SCHEMA = "crmc.bench_robust.v1"
@@ -128,7 +147,7 @@ def _check_number(container, key, where, lo=None, hi=None):
     return v
 
 
-def _validate_metadata(doc, path):
+def _validate_metadata(doc, path, require_lane_width=False):
     meta = doc.get("metadata")
     if not isinstance(meta, dict):
         fail(f"{path}: 'metadata' must be an object")
@@ -136,6 +155,8 @@ def _validate_metadata(doc, path):
         v = meta.get(key)
         if not isinstance(v, str) or not v:
             fail(f"{path}: metadata.{key} must be a non-empty string")
+    if require_lane_width:
+        _check_positive_int(meta, "lane_width", f"{path}: metadata")
     return meta
 
 
@@ -158,10 +179,36 @@ def _validate_kernels(doc, path):
     return kernels
 
 
+def _validate_trial_block(p, where):
+    """Checks a v3 per-point 'trial' object (absent on points whose
+    protocol has no trial-parallel twin)."""
+    trial = p.get("trial")
+    if trial is None:
+        return None
+    if not isinstance(trial, dict):
+        fail(f"{where}: 'trial' must be an object")
+    _check_positive_int(trial, "lane_width", f"{where}: trial")
+    if trial.get("rng") != "philox":
+        fail(f"{where}: trial.rng must be 'philox' (the executor's required "
+             f"generator), got {trial.get('rng')!r}")
+    engines = trial.get("engines")
+    if not isinstance(engines, dict):
+        fail(f"{where}: trial.engines must be an object")
+    for name in ("batch", "trial_batch"):
+        eng = engines.get(name)
+        if not isinstance(eng, dict):
+            fail(f"{where}: trial.engines.{name} missing")
+        for metric in ENGINE_METRICS:
+            _check_number(eng, metric, f"{where}: trial.engines.{name}", lo=0)
+    _check_number(trial, "speedup_trials_per_sec", f"{where}: trial", lo=0)
+    return trial
+
+
 def validate_engine(doc, path, schema=ENGINE_SCHEMA):
     """Checks a crmc.bench_engine.* schema; returns the points list."""
-    if schema == ENGINE_SCHEMA_V2:
-        _validate_metadata(doc, path)
+    if schema in (ENGINE_SCHEMA_V2, ENGINE_SCHEMA_V3):
+        _validate_metadata(doc, path,
+                           require_lane_width=schema == ENGINE_SCHEMA_V3)
         _validate_kernels(doc, path)
     points = _check_points_container(doc, path)
     for i, p in enumerate(points):
@@ -182,6 +229,8 @@ def validate_engine(doc, path, schema=ENGINE_SCHEMA):
             for metric in ENGINE_METRICS:
                 _check_number(eng, metric, f"{where}: engines.{name}", lo=0)
         _check_number(p, "speedup_trials_per_sec", where, lo=0)
+        if schema == ENGINE_SCHEMA_V3:
+            _validate_trial_block(p, where)
     keys = [tuple(p[k] for k in POINT_KEYS) for p in points]
     if len(set(keys)) != len(keys):
         fail(f"{path}: duplicate grid points")
@@ -494,6 +543,30 @@ def check_jam_monotonicity(points, tolerance):
     return checked
 
 
+def check_trial_speedup(points, floor, max_active=TRIAL_SPEEDUP_MAX_ACTIVE):
+    """Every small-active point carrying a trial block must show the
+    trial-parallel executor at >= `floor` times the per-trial batch path.
+    Fails if no point qualifies — a floor nothing is measured against
+    would pass vacuously."""
+    gated = 0
+    for p in points:
+        trial = p.get("trial")
+        if trial is None or p["num_active"] > max_active:
+            continue
+        gated += 1
+        sp = trial["speedup_trials_per_sec"]
+        label = (f"{p['protocol']} n={p['population']} "
+                 f"active={p['num_active']} C={p['channels']}")
+        if sp < floor:
+            fail(f"{label}: trial executor speedup {sp:.2f} < "
+                 f"--min-trial-speedup {floor:.2f}")
+        print(f"{label}: trial executor speedup {sp:.2f} >= {floor:.2f} ok")
+    if gated == 0:
+        fail(f"no grid point with num_active <= {max_active} carries a "
+             f"'trial' block; --min-trial-speedup has nothing to gate")
+    return gated
+
+
 def point_key(p):
     return tuple(p[k] for k in POINT_KEYS)
 
@@ -529,13 +602,20 @@ def run_checks(args):
     if not isinstance(doc, dict):
         fail(f"{args.artifact}: top level must be an object")
     schema = doc.get("schema")
-    if schema in (ENGINE_SCHEMA, ENGINE_SCHEMA_V2):
+    if schema in ENGINE_SCHEMAS:
         points = validate_engine(doc, args.artifact, schema)
         print(f"{args.artifact}: schema ok, {len(points)} grid points")
-        if schema == ENGINE_SCHEMA_V2:
+        if schema in (ENGINE_SCHEMA_V2, ENGINE_SCHEMA_V3):
             meta = doc["metadata"]
             print(f"metadata: cpu={meta['cpu']!r} dispatch={meta['dispatch']} "
                   f"rng={meta['rng']}; {len(doc['kernels'])} kernel rates")
+        if args.min_trial_speedup is not None:
+            if schema != ENGINE_SCHEMA_V3:
+                fail(f"{args.artifact}: --min-trial-speedup needs a "
+                     f"{ENGINE_SCHEMA_V3} artifact, got {schema}")
+            gated = check_trial_speedup(points, args.min_trial_speedup)
+            print(f"trial executor floor {args.min_trial_speedup:.2f} holds "
+                  f"on {gated} small-active points")
         if args.min_speedup is not None:
             for p in points:
                 sp = p["speedup_trials_per_sec"]
@@ -549,7 +629,7 @@ def run_checks(args):
             if not isinstance(base_doc, dict):
                 fail(f"{args.baseline}: top level must be an object")
             base_schema = base_doc.get("schema")
-            if base_schema not in (ENGINE_SCHEMA, ENGINE_SCHEMA_V2):
+            if base_schema not in ENGINE_SCHEMAS:
                 fail(f"{args.baseline}: baseline schema is {base_schema!r}, "
                      f"expected an engine schema")
             base_points = validate_engine(base_doc, args.baseline, base_schema)
@@ -592,8 +672,8 @@ def run_checks(args):
         print(f"overhead monotonicity ok across {checked} adjacent pairs")
     else:
         fail(f"{args.artifact}: schema is {schema!r}, expected "
-             f"{ENGINE_SCHEMA!r}, {ENGINE_SCHEMA_V2!r}, {FAULTS_SCHEMA!r}, "
-             f"{ADVERSARY_SCHEMA!r} or {ROBUST_SCHEMA!r}")
+             f"{ENGINE_SCHEMA!r}, {ENGINE_SCHEMA_V2!r}, {ENGINE_SCHEMA_V3!r}, "
+             f"{FAULTS_SCHEMA!r}, {ADVERSARY_SCHEMA!r} or {ROBUST_SCHEMA!r}")
     print("check_bench_json: OK")
 
 
@@ -732,6 +812,34 @@ def _v2_doc(**overrides):
     return doc
 
 
+def _trial_block(speedup=2.0, lane_width=32):
+    return {
+        "lane_width": lane_width, "rng": "philox",
+        "engines": {
+            "batch": {"seconds": 1.0, "trials_per_sec": 100.0,
+                      "rounds_per_sec": 1000.0, "node_rounds_per_sec": 1e6},
+            "trial_batch": {"seconds": 1.0 / speedup,
+                            "trials_per_sec": 100.0 * speedup,
+                            "rounds_per_sec": 1000.0 * speedup,
+                            "node_rounds_per_sec": 1e6 * speedup},
+        },
+        "speedup_trials_per_sec": speedup,
+    }
+
+
+def _v3_doc(**overrides):
+    doc = _v2_doc()
+    doc["schema"] = ENGINE_SCHEMA_V3
+    doc["metadata"] = dict(doc["metadata"], lane_width=32)
+    doc["points"] = [
+        _engine_point(protocol="two_active", num_active=2,
+                      trial=_trial_block()),
+        _engine_point(),  # no trial twin: no block, legal in v3
+    ]
+    doc.update(overrides)
+    return doc
+
+
 def self_test():
     engine_doc = {"schema": ENGINE_SCHEMA, "points": [_engine_point()]}
     faults_doc = {
@@ -859,6 +967,54 @@ def self_test():
                      lambda: validate_engine(_v2_doc(kernels=[]), "mem",
                                              ENGINE_SCHEMA_V2),
                      "'kernels'"),
+        _expect_ok("v3 schema accepts a valid doc",
+                   lambda: validate_engine(_v3_doc(), "mem",
+                                           ENGINE_SCHEMA_V3)),
+        _expect_fail("v3 schema requires metadata.lane_width",
+                     lambda: validate_engine(
+                         _v3_doc(metadata={"cpu": "Test CPU",
+                                           "compiler": "g++ 0.0",
+                                           "dispatch": "avx2",
+                                           "rng": "xoshiro"}), "mem",
+                         ENGINE_SCHEMA_V3),
+                     "lane_width"),
+        _expect_fail("v3 schema rejects a trial block without trial_batch",
+                     lambda: validate_engine(
+                         _v3_doc(points=[_engine_point(
+                             num_active=2,
+                             trial={"lane_width": 32, "rng": "philox",
+                                    "engines": {"batch": {
+                                        "seconds": 1.0,
+                                        "trials_per_sec": 100.0,
+                                        "rounds_per_sec": 1000.0,
+                                        "node_rounds_per_sec": 1e6}},
+                                    "speedup_trials_per_sec": 1.0})]),
+                         "mem", ENGINE_SCHEMA_V3),
+                     "trial_batch missing"),
+        _expect_fail("v3 schema rejects a non-philox trial rng",
+                     lambda: validate_engine(
+                         _v3_doc(points=[_engine_point(
+                             num_active=2,
+                             trial=dict(_trial_block(), rng="xoshiro"))]),
+                         "mem", ENGINE_SCHEMA_V3),
+                     "trial.rng"),
+        _expect_ok("trial speedup floor passes above the floor",
+                   lambda: check_trial_speedup(_v3_doc()["points"], 1.5)),
+        _expect_fail("trial speedup floor gates a slow executor",
+                     lambda: check_trial_speedup(
+                         [_engine_point(num_active=2,
+                                        trial=_trial_block(speedup=1.2))],
+                         1.5),
+                     "trial executor speedup"),
+        _expect_fail("trial speedup floor refuses to pass vacuously",
+                     lambda: check_trial_speedup([_engine_point()], 1.5),
+                     "nothing to gate"),
+        _expect_fail("trial speedup floor ignores large-active points",
+                     lambda: check_trial_speedup(
+                         [_engine_point(num_active=256,
+                                        trial=_trial_block(speedup=9.0))],
+                         1.5),
+                     "nothing to gate"),
         _expect_ok("baseline check crosses schema versions",
                    lambda: check_engine_baseline(v2_fast["points"],
                                                  engine_doc["points"], 0.2)),
@@ -956,6 +1112,11 @@ def main():
     ap.add_argument("--min-speedup", type=float, default=None,
                     help="require batch/coroutine speedup >= this on every "
                          "point")
+    ap.add_argument("--min-trial-speedup", type=float, default=None,
+                    help="require the v3 trial-parallel executor speedup "
+                         ">= this on every small-active point carrying a "
+                         "trial block (num_active <= "
+                         f"{TRIAL_SPEEDUP_MAX_ACTIVE})")
     ap.add_argument("--monotone-tolerance", type=float, default=0.05,
                     help="allowed success_rate rise between adjacent jam "
                          "rates (default 0.05)")

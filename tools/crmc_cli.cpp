@@ -86,7 +86,13 @@ using namespace crmc;
       "              thread-indexed)\n"
       "              --rng xoshiro|philox picks the draw generator\n"
       "              --no-batch forces the coroutine engine (the batch\n"
-      "              fast path is bit-exact, so results are identical)\n";
+      "              fast path is bit-exact, so results are identical)\n"
+      "              --no-fused forces the generic materialized round path\n"
+      "              (disables StepProgram::FastRound; bit-exact, for\n"
+      "              debugging the fused fast rounds without a rebuild)\n"
+      "              --lanes W runs W trials per SIMD lockstep chunk on\n"
+      "              the trial-parallel executor (requires --rng philox;\n"
+      "              statistics are identical for every W)\n";
   std::exit(2);
 }
 
@@ -278,6 +284,8 @@ int CmdRace(const harness::Flags& flags) {
   spec.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
   spec.max_rounds = flags.GetIntOr("max-rounds", spec.max_rounds);
   spec.use_batch_engine = !flags.GetBoolOr("no-batch", false);
+  spec.fused_rounds = !flags.GetBoolOr("no-fused", false);
+  spec.lane_width = static_cast<std::int32_t>(flags.GetIntOr("lanes", 1));
   spec.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
   spec.adversary = ParseAdversaryFlags(flags);
   spec.robust = ParseRobustFlags(flags);
@@ -334,6 +342,8 @@ int CmdSweep(const harness::Flags& flags) {
   base.channels = static_cast<std::int32_t>(flags.GetIntOr("channels", 64));
   base.max_rounds = flags.GetIntOr("max-rounds", base.max_rounds);
   base.use_batch_engine = !flags.GetBoolOr("no-batch", false);
+  base.fused_rounds = !flags.GetBoolOr("no-fused", false);
+  base.lane_width = static_cast<std::int32_t>(flags.GetIntOr("lanes", 1));
   base.rng = ParseRng(flags.GetStringOr("rng", "xoshiro"));
   base.adversary = ParseAdversaryFlags(flags);
   base.robust = ParseRobustFlags(flags);
