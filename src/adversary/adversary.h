@@ -49,6 +49,10 @@ enum class Kind : std::uint8_t {
   kRandomBudgeted,   // spends uniformly at random — the fairness baseline
   kScripted,         // replays a fixed (round, channel) script — for tests
   kPhaseTracking,    // infers the protocol stage, strikes all-listen rounds
+  kLookahead,        // models the robust wrapper: holds through honeypots,
+                     // strikes confirmation echoes
+  kLearning,         // lookahead that estimates the backoff schedule from
+                     // observed inter-epoch silence gaps
 };
 
 const char* ToString(Kind kind);
@@ -161,6 +165,11 @@ class AdversaryRun {
 
   const BudgetLedger& ledger() const { return ledger_; }
 
+  // Rounds in which the ledger granted a positive allowance but the
+  // strategy planned no jam — a deliberate *hold*. The lookahead/learning
+  // strategies' honeypot evasion shows up here; a camper never holds.
+  std::int64_t rounds_held() const { return rounds_held_; }
+
  private:
   std::unique_ptr<Adversary> strategy_;
   BudgetLedger ledger_;
@@ -168,6 +177,7 @@ class AdversaryRun {
   RoundObservation last_obs_;
   std::vector<mac::ChannelId> jams_;
   ObsMode obs_ = ObsMode::kFull;
+  std::int64_t rounds_held_ = 0;
 };
 
 }  // namespace crmc::adversary

@@ -1,5 +1,6 @@
 #include "harness/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <span>
 #include <thread>
@@ -92,10 +93,18 @@ TrialSetResult RunTrials(const TrialSpec& spec, const ProtocolHandle& protocol,
     result.crashed_nodes += run.crashed_nodes;
     result.adv_jams_spent += run.adv_jams_spent;
     result.adv_jams_effective += run.adv_jams_effective;
+    result.adv_rounds_held += run.adv_rounds_held;
+    result.adv_jams_echo += run.adv_jams_echo;
+    result.adv_jams_backoff += run.adv_jams_backoff;
     result.epochs_used += run.epochs_used;
     result.retries += run.retries;
     result.confirm_rounds += run.confirm_rounds;
     result.backoff_rounds += run.backoff_rounds;
+    result.adaptive_confirm_extra += run.adaptive_confirm_extra;
+    result.adaptive_backoff_trimmed += run.adaptive_backoff_trimmed;
+    result.confirm_quorum_peak =
+        std::max(result.confirm_quorum_peak, run.confirm_quorum_peak);
+    result.rounds_total += run.rounds_executed;
     if (run.solved) {
       result.solved_rounds.push_back(run.solved_round + 1);
       if (run.confirmed) ++result.confirmed;

@@ -95,12 +95,26 @@ struct TrialSetResult {
   std::int64_t retries = 0;
   std::int64_t confirm_rounds = 0;
   std::int64_t backoff_rounds = 0;
+  // Adaptive-policy aggregates (robust::PolicyKind::kAdaptive): summed
+  // extra echo rounds and trimmed honeypot rounds vs the static schedule;
+  // confirm_quorum_peak is the max over trials, not a sum.
+  std::int64_t adaptive_confirm_extra = 0;
+  std::int64_t adaptive_backoff_trimmed = 0;
+  std::int32_t confirm_quorum_peak = 0;
   // Fault-layer aggregates summed over every trial (solved or not).
   std::int64_t faults_injected = 0;
   std::int64_t crashed_nodes = 0;
   // Adaptive-adversary aggregates, likewise summed over every trial.
   std::int64_t adv_jams_spent = 0;
   std::int64_t adv_jams_effective = 0;
+  // Hold/spend breakdown summed over every trial (sim::RunResult docs).
+  std::int64_t adv_rounds_held = 0;
+  std::int64_t adv_jams_echo = 0;
+  std::int64_t adv_jams_backoff = 0;
+  // Rounds executed summed over every trial, solved and failed alike (a
+  // failed trial contributes its max_rounds cap). The bench layer's
+  // wrapper-overhead ratios are built on this total cost measure.
+  std::int64_t rounds_total = 0;
   Summary summary;             // over solved_rounds only
   std::vector<sim::RunResult> runs;  // iff keep_runs was requested
 };

@@ -1,5 +1,8 @@
 #include "robust/robust.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "support/assert.h"
 #include "support/rng.h"
 
@@ -25,16 +28,33 @@ std::int64_t CeilLgLg(std::int64_t x) { return CeilLg(CeilLg(x) + 1); }
 
 }  // namespace
 
+const char* ToString(PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kStatic:
+      return "static";
+    case PolicyKind::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+std::optional<PolicyKind> ParsePolicyKind(std::string_view name) {
+  if (name == "static") return PolicyKind::kStatic;
+  if (name == "adaptive") return PolicyKind::kAdaptive;
+  return std::nullopt;
+}
+
 void RobustSpec::Validate() const {
   if (!enabled) {
     const RobustSpec defaults;
     CRMC_REQUIRE_MSG(max_epochs == defaults.max_epochs &&
+                         policy == defaults.policy &&
                          confirm_attempts == defaults.confirm_attempts &&
                          backoff_base == defaults.backoff_base &&
                          backoff_cap == defaults.backoff_cap &&
                          epoch_round_budget == defaults.epoch_round_budget &&
                          stall_round_budget == defaults.stall_round_budget,
-                     "robust tuning options (--max-epochs, "
+                     "robust tuning options (--robust-policy, --max-epochs, "
                      "--confirm-attempts, --backoff, --backoff-cap, "
                      "--epoch-budget, --stall-budget) require --robust");
     return;
@@ -46,8 +66,13 @@ void RobustSpec::Validate() const {
                        << confirm_attempts);
   CRMC_REQUIRE_MSG(backoff_base >= 0,
                    "robust backoff base must be >= 0, got " << backoff_base);
+  // Distinct from the base check above: a cap below the base would not
+  // just be unusual, it silently degenerates the whole honeypot schedule
+  // to a constant cap-length pause (BackoffRounds clamps every epoch).
   CRMC_REQUIRE_MSG(backoff_cap >= backoff_base,
-                   "robust backoff cap must be >= the backoff base, got cap "
+                   "robust backoff cap (--backoff-cap) must be >= the "
+                   "backoff base (--backoff) — a smaller cap degenerates "
+                   "the honeypot schedule to a constant pause, got cap "
                        << backoff_cap << " base " << backoff_base);
   CRMC_REQUIRE_MSG(epoch_round_budget >= 0,
                    "robust epoch round budget must be >= 0 (0 derives it), "
@@ -113,6 +138,88 @@ std::int64_t StallRoundBudget(const RobustSpec& spec,
                               std::int64_t population) {
   if (spec.stall_round_budget > 0) return spec.stall_round_budget;
   return 32 + 4 * CeilLg(population);
+}
+
+std::int32_t ConfirmQuorum(double suppress_rate, std::int64_t population,
+                           std::int32_t floor_attempts) {
+  if (floor_attempts <= 0) return 0;  // confirmation explicitly disabled
+  if (suppress_rate <= 0.0) return floor_attempts;
+  if (suppress_rate >= 1.0) return kMaxConfirmQuorum;
+  // Smallest k with p^k <= 1/n  ⇔  k >= ln(n) / -ln(p). Both engines
+  // evaluate this in the same translation unit on the same inputs, so the
+  // floating-point result — and therefore the quorum — is identical.
+  const double n = static_cast<double>(population < 2 ? 2 : population);
+  const double k = std::ceil(std::log(n) / -std::log(suppress_rate));
+  if (k >= static_cast<double>(kMaxConfirmQuorum)) return kMaxConfirmQuorum;
+  const auto quorum = static_cast<std::int32_t>(k);
+  return std::max(quorum, floor_attempts);
+}
+
+double EpochDriver::SuppressionEstimate() const {
+  // E20 estimation discipline (core/estimation.h): one noisy sample per
+  // epoch, combined by a median over the last kEstimatorSamples samples.
+  // Each sample is the epoch's Laplace-smoothed echo-suppression ratio
+  // (failures + 1) / (echoes + 2); the running epoch contributes its
+  // in-flight sample so an exchange under attack escalates immediately.
+  double samples[kEstimatorSamples + 1];
+  std::int32_t count = 0;
+  for (std::int32_t i = 0; i < sample_count_; ++i) {
+    samples[count++] = sample_ring_[i];
+  }
+  if (epoch_echo_rounds_ > 0) {
+    samples[count++] =
+        static_cast<double>(epoch_echo_failures_ + 1) /
+        static_cast<double>(epoch_echo_rounds_ + 2);
+  }
+  if (count == 0) return 0.0;
+  std::sort(samples, samples + count);
+  return samples[count / 2];  // upper median for even counts
+}
+
+void EpochDriver::NoteEchoRound(bool delivered, std::int32_t adv_jams) {
+  (void)adv_jams;  // echo spend is accounted by the engines' RunResult
+  ++exchange_echoes_;
+  if (!adaptive()) return;
+  ++epoch_echo_rounds_;
+  if (!delivered) ++epoch_echo_failures_;
+  // The exchange is the wrapper's own spend-forcing: give the epoch
+  // watchdog one round of credit per echo so a long quorum cannot trip it.
+  ++budget_extension_;
+  if (exchange_echoes_ > spec_.confirm_attempts) ++adaptive_confirm_extra_;
+  confirm_quorum_peak_ = std::max(confirm_quorum_peak_, confirm_attempts());
+}
+
+void EpochDriver::BeginNextEpoch() {
+  ++epoch_;
+  epoch_rounds_ = 0;
+  budget_extension_ = 0;
+  if (!adaptive()) return;
+  // Bank the finished epoch's suppression sample (only epochs that ran an
+  // echo carry signal) into the median ring.
+  if (epoch_echo_rounds_ > 0) {
+    const double sample =
+        static_cast<double>(epoch_echo_failures_ + 1) /
+        static_cast<double>(epoch_echo_rounds_ + 2);
+    sample_ring_[sample_next_] = sample;
+    sample_next_ = (sample_next_ + 1) % kEstimatorSamples;
+    sample_count_ = std::min(sample_count_ + 1, kEstimatorSamples);
+    epoch_echo_rounds_ = 0;
+    epoch_echo_failures_ = 0;
+  }
+  // Honeypot-trim accounting: PauseRounds() below is what the engine will
+  // actually schedule for this epoch.
+  adaptive_backoff_trimmed_ += BackoffRounds(spec_, epoch_) - PauseRounds();
+}
+
+std::int64_t EpochDriver::PauseRounds() const {
+  const std::int64_t statically = BackoffRounds(spec_, epoch_);
+  if (!adaptive() || epoch_ <= 1) return statically;
+  // Honeypot sizing from observed spend: an adversary that holds through
+  // silence makes the pause pure overhead — trim it to a single probe
+  // round (enough to keep observing). One that spends on silence gets the
+  // full drain schedule.
+  if (backoff_jams_seen_ == 0 && statically > 1) return 1;
+  return statically;
 }
 
 std::int32_t FindPrimaryWinner(std::span<const mac::Action> actions) {

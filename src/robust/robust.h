@@ -42,20 +42,79 @@
 // — or enabled over a pristine, unjammed run — execution is bit-identical
 // to an unwrapped run (epoch 0 uses the unsalted seed, and the
 // confirmation path inserts zero rounds when the candidate delivers).
+// The *adaptive* policy (PolicyKind::kAdaptive, PR 7) closes the arms-race
+// loop the static constants leave open: a wrapper-aware jammer (the
+// lookahead/learning strategies) holds its budget through the honeypot and
+// outlasts any fixed schedule. The adaptive policy instead sizes the
+// defenses online from the adversary's *observed spend*, reusing the E20
+// estimation discipline (core/estimation.h: noisy per-round signals are
+// combined by a median over a fixed number of independent samples):
+//
+//   a. Fault-aware confirmation quorum. The per-epoch echo-suppression
+//      rate — jams and erasures alike, the wrapper cannot tell and does
+//      not care — is estimated as a median over the last
+//      kEstimatorSamples per-epoch samples (Laplace-smoothed), and the
+//      confirmation loop runs until the w.h.p. quorum ConfirmQuorum(p, n)
+//      is met: the smallest k with p^k <= 1/n, clamped to
+//      [spec.confirm_attempts, kMaxConfirmQuorum]. Under erasure/flaky-CD
+//      a dropped echo no longer burns the whole epoch (the quorum grows
+//      just enough to push the failure probability back below 1/n); under
+//      a reactive jammer every suppressed echo *raises* the estimate,
+//      which lengthens the exchange — one suppressed candidate can force
+//      the jammer to spend up to kMaxConfirmQuorum budget or lose the
+//      claim, which is what drains a honeypot-evading adversary.
+//   b. Epoch budgets. Every adaptive echo round extends the epoch's
+//      watchdog budget by one: the quorum exchange is the wrapper's own
+//      spend-forcing and must not trip the restart watchdog.
+//   c. Honeypot sizing. The backoff pause is a drain for adversaries that
+//      spend on silence; one that holds through it makes the pause pure
+//      overhead. Pauses after the first retry are trimmed to a single
+//      probe round while the observed honeypot yield (jams landing on
+//      backoff rounds) is zero, and restored to the full schedule the
+//      moment the adversary is seen spending there.
+//
+// With PolicyKind::kStatic every knob keeps its spec value and the driver
+// is bit-identical to the PR 5 wrapper; an adaptive wrapper over a
+// pristine run never observes a suppression and is likewise bit-identical
+// to the bare run.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string_view>
 
 #include "mac/channel.h"
 
 namespace crmc::robust {
+
+// How the wrapper's tuning knobs evolve at runtime (RobustSpec::policy).
+enum class PolicyKind : std::uint8_t {
+  kStatic = 0,  // PR 5 behaviour: every knob is a constant from the spec
+  kAdaptive,    // knobs sized online from observed adversary spend
+};
+
+const char* ToString(PolicyKind policy);
+std::optional<PolicyKind> ParsePolicyKind(std::string_view name);
+
+// Hard ceiling on the adaptive confirmation quorum (echo rounds per
+// suppressed candidate). Bounds one exchange's round cost and, dually, the
+// budget an adversary can be forced to spend per candidate. Must stay
+// within RobustSpec::confirm_attempts' validated range.
+inline constexpr std::int32_t kMaxConfirmQuorum = 512;
+
+// Samples in the suppression-rate median estimator (matches the E20
+// estimators' default sample count; odd to avoid median ties).
+inline constexpr std::int32_t kEstimatorSamples = 5;
 
 // Engine-facing robust-execution configuration (embedded in
 // sim::EngineConfig and harness::TrialSpec). Defaults are inert: enabled
 // == false leaves both engines on their historical code paths.
 struct RobustSpec {
   bool enabled = false;
+  // Static: PR 5 constants. Adaptive: confirmation quorum, epoch budgets
+  // and backoff honeypots are sized online (see file comment).
+  PolicyKind policy = PolicyKind::kStatic;
   // Maximum epochs (protocol restarts count from 1). The final epoch runs
   // to its natural end — timeout, termination, or abort — with no retry.
   std::int32_t max_epochs = 8;
@@ -75,6 +134,9 @@ struct RobustSpec {
   std::int64_t stall_round_budget = 0;
 
   bool Active() const { return enabled; }
+  bool Adaptive() const {
+    return enabled && policy == PolicyKind::kAdaptive;
+  }
 
   // Throws std::invalid_argument, distinct message per violated
   // constraint (unit-tested). Robust tuning fields require enabled ==
@@ -110,6 +172,13 @@ std::int64_t EpochRoundBudget(const RobustSpec& spec, std::int64_t population,
 // observable progress first.
 std::int64_t StallRoundBudget(const RobustSpec& spec, std::int64_t population);
 
+// W.h.p.-derived confirmation quorum: the smallest number of echo attempts
+// k with suppress_rate^k <= 1/population, clamped to [floor_attempts,
+// kMaxConfirmQuorum]. floor_attempts == 0 disables confirmation outright
+// (an explicit spec choice the adaptive policy respects) and returns 0.
+std::int32_t ConfirmQuorum(double suppress_rate, std::int64_t population,
+                           std::int32_t floor_attempts);
+
 // Index (into `actions`) of the round's lone primary-channel transmitter,
 // or -1 if there is none. Engines call this on a candidate round to pick
 // the echo-round winner; passing the coroutine engine's full action array
@@ -122,10 +191,18 @@ std::int32_t FindPrimaryWinner(std::span<const mac::Action> actions);
 // keeps wrapped runs bit-exact across engines):
 //
 //   - CountRound() after every protocol or echo round of the epoch;
+//   - NoteCandidate() when a suppressed candidate opens a confirmation
+//     exchange, then NoteEchoRound(delivered, adv_jams) after each echo;
+//   - NoteBackoffRound(adv_jams) after each backoff honeypot round;
 //   - WatchdogExpired(stall) at the end of each full round cycle;
 //   - CanRetry() / BeginNextEpoch() when an epoch fails;
 //   - SeedFor(run_seed) when (re)building node state for the epoch;
 //   - PauseRounds() for the backoff pause before the current epoch.
+//
+// Under PolicyKind::kStatic the Note* calls only record accounting and
+// every knob keeps its spec value — bit-identical to the PR 5 driver.
+// Under kAdaptive they feed the estimators that size confirm_attempts(),
+// PauseRounds() and the watchdog budget (see file comment).
 //
 // With spec.enabled == false the driver is inert: WatchdogExpired and
 // CanRetry are always false, and the engines never reach the other calls.
@@ -134,44 +211,106 @@ class EpochDriver {
   EpochDriver(const RobustSpec& spec, std::int64_t population,
               std::int32_t channels)
       : spec_(spec),
+        population_(population),
         epoch_budget_(spec.enabled ? EpochRoundBudget(spec, population,
                                                       channels)
                                    : 0),
         stall_budget_(spec.enabled ? StallRoundBudget(spec, population) : 0) {}
 
   bool enabled() const { return spec_.enabled; }
+  bool adaptive() const { return spec_.Adaptive(); }
   std::int32_t epoch() const { return epoch_; }
-  std::int32_t confirm_attempts() const { return spec_.confirm_attempts; }
+  // Static: the spec constant. Adaptive: the w.h.p. quorum for the current
+  // suppression-rate estimate. The engines' confirmation loops re-evaluate
+  // this bound after every echo, so an exchange escalates *while it runs*:
+  // each suppressed echo raises the estimate, which raises the quorum,
+  // until an echo delivers or kMaxConfirmQuorum caps the exchange.
+  std::int32_t confirm_attempts() const {
+    if (!adaptive()) return spec_.confirm_attempts;
+    return ConfirmQuorum(SuppressionEstimate(), population_,
+                         spec_.confirm_attempts);
+  }
   std::int64_t epoch_budget() const { return epoch_budget_; }
   std::int64_t stall_budget() const { return stall_budget_; }
 
   void CountRound() { ++epoch_rounds_; }
 
+  // A suppressed lone primary candidate opened a confirmation exchange.
+  void NoteCandidate() { exchange_echoes_ = 0; }
+
+  // One confirmation echo resolved. Always updates the hold/spend
+  // accounting; under the adaptive policy also feeds the suppression
+  // estimator, extends the epoch watchdog budget (the exchange is the
+  // wrapper's own spend-forcing, not protocol stagnation) and tracks the
+  // quorum escalation accounting.
+  void NoteEchoRound(bool delivered, std::int32_t adv_jams);
+
+  // One backoff honeypot round resolved; `adv_jams` is the observed yield.
+  void NoteBackoffRound(std::int32_t adv_jams) {
+    ++backoff_rounds_seen_;
+    backoff_jams_seen_ += adv_jams;
+  }
+
   bool WatchdogExpired(std::int64_t stall_streak) const {
-    return spec_.enabled && (epoch_rounds_ >= epoch_budget_ ||
-                             stall_streak >= stall_budget_);
+    return spec_.enabled &&
+           (epoch_rounds_ >= epoch_budget_ + budget_extension_ ||
+            stall_streak >= stall_budget_);
   }
 
   bool CanRetry() const {
     return spec_.enabled && epoch_ + 1 < spec_.max_epochs;
   }
 
-  void BeginNextEpoch() {
-    ++epoch_;
-    epoch_rounds_ = 0;
-  }
+  void BeginNextEpoch();
 
-  std::int64_t PauseRounds() const { return BackoffRounds(spec_, epoch_); }
+  // Static: the spec's exponential schedule. Adaptive: trimmed to one
+  // probe round (from the second retry on) while the observed honeypot
+  // yield is zero — an adversary that holds through silence makes the
+  // pause pure overhead.
+  std::int64_t PauseRounds() const;
   std::uint64_t SeedFor(std::uint64_t run_seed) const {
     return EpochSeed(run_seed, epoch_);
   }
 
+  // ---- Adaptive-policy accounting (all zero under kStatic) ----
+  // Echo rounds run beyond the static confirm_attempts schedule.
+  std::int64_t adaptive_confirm_extra() const {
+    return adaptive_confirm_extra_;
+  }
+  // Backoff honeypot rounds trimmed relative to the static schedule.
+  std::int64_t adaptive_backoff_trimmed() const {
+    return adaptive_backoff_trimmed_;
+  }
+  // Largest confirmation quorum that was in force during any exchange.
+  std::int32_t confirm_quorum_peak() const { return confirm_quorum_peak_; }
+
  private:
+  // Median-of-samples estimate of the probability that an echo round is
+  // suppressed (jammed or erased — the wrapper cannot tell and does not
+  // care). See robust.cpp.
+  double SuppressionEstimate() const;
+
   RobustSpec spec_;
+  std::int64_t population_ = 0;
   std::int32_t epoch_ = 0;
   std::int64_t epoch_rounds_ = 0;
   std::int64_t epoch_budget_ = 0;
   std::int64_t stall_budget_ = 0;
+  // Adaptive state. epoch_echo_* are the running epoch's sample; completed
+  // epochs' suppression ratios live in sample_ring_ (last kEstimatorSamples
+  // epochs that ran any echo).
+  std::int64_t budget_extension_ = 0;   // epoch-budget credit, resets per epoch
+  std::int64_t exchange_echoes_ = 0;    // echoes in the open exchange
+  std::int64_t epoch_echo_rounds_ = 0;
+  std::int64_t epoch_echo_failures_ = 0;
+  double sample_ring_[kEstimatorSamples] = {};
+  std::int32_t sample_count_ = 0;
+  std::int32_t sample_next_ = 0;
+  std::int64_t backoff_rounds_seen_ = 0;
+  std::int64_t backoff_jams_seen_ = 0;
+  std::int64_t adaptive_confirm_extra_ = 0;
+  std::int64_t adaptive_backoff_trimmed_ = 0;
+  std::int32_t confirm_quorum_peak_ = 0;
 };
 
 }  // namespace crmc::robust

@@ -111,8 +111,10 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
   // resolver touches channels — and draws faults — identically. Crash
   // draws are skipped and the program does not advance. `winner_slot`
   // >= 0 indexes alive_ and fabricates a confirmation echo; -1 fabricates
-  // an all-idle backoff round.
-  const auto fabricated_round = [&](std::int32_t winner_slot) {
+  // an all-idle backoff round. Returns the round summary so the call sites
+  // can feed the adaptive policy and the echo/backoff spend breakdown.
+  const auto fabricated_round =
+      [&](std::int32_t winner_slot) -> mac::RoundSummary {
     const std::size_t m = alive_.size();
     if (config.record_active_counts) {
       result.active_counts.push_back(static_cast<std::int64_t>(m));
@@ -135,6 +137,7 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
         resolver_->Resolve(fab_actions_, fab_feedback_, fault_ptr, adv_jams);
     adversary.ObserveRound(*resolver_, round);
     account_round(summary);
+    return summary;
   };
 
   while (true) {  // one iteration per robust epoch (single pass when off)
@@ -143,8 +146,10 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
     // typically wastes budget on).
     for (std::int64_t pause = epochs.PauseRounds();
          pause > 0 && round < config.max_rounds; --pause) {
-      fabricated_round(-1);
+      const mac::RoundSummary pause_summary = fabricated_round(-1);
       ++result.backoff_rounds;
+      result.adv_jams_backoff += pause_summary.adv_jams;
+      epochs.NoteBackoffRound(pause_summary.adv_jams);
     }
     if (round >= config.max_rounds) {
       out_of_rounds = true;
@@ -248,12 +253,17 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
           !summary.primary_lone_delivered) {
         const std::int32_t winner_slot = robust::FindPrimaryWinner(actions_);
         CRMC_CHECK(winner_slot >= 0);
+        epochs.NoteCandidate();
+        // Bound re-evaluated after every echo — the adaptive quorum
+        // escalates in place, same as Engine::Run.
         for (std::int32_t attempt = 0;
              attempt < epochs.confirm_attempts() &&
              round < config.max_rounds && !result.solved;
              ++attempt) {
-          fabricated_round(winner_slot);
+          const mac::RoundSummary echo = fabricated_round(winner_slot);
           ++result.confirm_rounds;
+          result.adv_jams_echo += echo.adv_jams;
+          epochs.NoteEchoRound(echo.primary_lone_delivered, echo.adv_jams);
           epochs.CountRound();
         }
       }
@@ -334,10 +344,14 @@ RunResult BatchEngine::Run(const EngineConfig& config, StepProgram& program) {
                      out_of_rounds;
   result.wedged =
       result.timed_out && stall_streak * 2 >= result.rounds_executed;
+  result.adv_rounds_held = adversary.rounds_held();
   if (epochs.enabled()) {
     result.epochs_used = epochs.epoch() + 1;
     result.retries = epochs.epoch();
     result.confirmed = result.solved;
+    result.adaptive_confirm_extra = epochs.adaptive_confirm_extra();
+    result.adaptive_backoff_trimmed = epochs.adaptive_backoff_trimmed();
+    result.confirm_quorum_peak = epochs.confirm_quorum_peak();
   }
   return result;
 }

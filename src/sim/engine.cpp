@@ -195,7 +195,9 @@ RunResult Engine::Run(const EngineConfig& config,
   // holds the floor. `winner` >= 0 fabricates a confirmation echo (the
   // candidate retransmits its message on the primary channel, every other
   // live node listens there); -1 fabricates an all-idle backoff round.
-  const auto fabricated_round = [&](std::int32_t winner) {
+  // Returns the round summary so the call sites can feed the adaptive
+  // policy and the echo/backoff spend breakdown.
+  const auto fabricated_round = [&](std::int32_t winner) -> mac::RoundSummary {
     if (config.record_active_counts) {
       result.active_counts.push_back(
           static_cast<std::int64_t>(alive.size()));
@@ -218,6 +220,7 @@ RunResult Engine::Run(const EngineConfig& config,
         resolver.Resolve(fab_actions, fab_feedback, fault_ptr, adv_jams);
     adversary.ObserveRound(resolver, round);
     account_round(summary);
+    return summary;
   };
 
   while (true) {  // one iteration per robust epoch (single pass when off)
@@ -228,8 +231,10 @@ RunResult Engine::Run(const EngineConfig& config,
     // drains its budget.
     for (std::int64_t pause = epochs.PauseRounds();
          pause > 0 && round < config.max_rounds; --pause) {
-      fabricated_round(-1);
+      const mac::RoundSummary pause_summary = fabricated_round(-1);
       ++result.backoff_rounds;
+      result.adv_jams_backoff += pause_summary.adv_jams;
+      epochs.NoteBackoffRound(pause_summary.adv_jams);
     }
     if (round >= config.max_rounds) {
       out_of_rounds = true;
@@ -348,12 +353,19 @@ RunResult Engine::Run(const EngineConfig& config,
           !summary.primary_lone_delivered) {
         const std::int32_t winner = robust::FindPrimaryWinner(actions);
         CRMC_CHECK(winner >= 0);
+        epochs.NoteCandidate();
+        // The loop bound is re-evaluated after every echo: under the
+        // adaptive policy a suppressed echo raises the quorum, so the
+        // exchange escalates in place until an echo delivers or
+        // kMaxConfirmQuorum caps it.
         for (std::int32_t attempt = 0;
              attempt < epochs.confirm_attempts() &&
              round < config.max_rounds && !result.solved;
              ++attempt) {
-          fabricated_round(winner);
+          const mac::RoundSummary echo = fabricated_round(winner);
           ++result.confirm_rounds;
+          result.adv_jams_echo += echo.adv_jams;
+          epochs.NoteEchoRound(echo.primary_lone_delivered, echo.adv_jams);
           epochs.CountRound();
         }
       }
@@ -468,10 +480,14 @@ RunResult Engine::Run(const EngineConfig& config,
                      out_of_rounds;
   result.wedged =
       result.timed_out && stall_streak * 2 >= result.rounds_executed;
+  result.adv_rounds_held = adversary.rounds_held();
   if (epochs.enabled()) {
     result.epochs_used = epochs.epoch() + 1;
     result.retries = epochs.epoch();
     result.confirmed = result.solved;
+    result.adaptive_confirm_extra = epochs.adaptive_confirm_extra();
+    result.adaptive_backoff_trimmed = epochs.adaptive_backoff_trimmed();
+    result.confirm_quorum_peak = epochs.confirm_quorum_peak();
   }
 
   for (const NodeContext& ctx : contexts) {

@@ -148,6 +148,17 @@ struct RunResult {
   // kObliviousRate (whose jams land in jams_injected above instead).
   std::int64_t adv_jams_spent = 0;
   std::int64_t adv_jams_effective = 0;
+  // Hold/spend breakdown. rounds_held counts rounds in which a budgeted
+  // adversary had a positive allowance but planned no jam — the deliberate
+  // patience of the phase-tracking/lookahead/learning strategies. The
+  // jams_echo/jams_backoff split says where spend landed when the robust
+  // layer fabricated the round: confirmation echoes (forced spend — every
+  // echo the adversary declines to jam confirms the claim) vs backoff
+  // honeypots (wasted spend — nothing was there to suppress). Both zero
+  // without the robust layer.
+  std::int64_t adv_rounds_held = 0;
+  std::int64_t adv_jams_echo = 0;
+  std::int64_t adv_jams_backoff = 0;
   // Livelock watchdog: length of the trailing streak of rounds in which
   // nothing happened — no channel delivered a lone message and no node
   // terminated. A Las Vegas protocol fed corrupted feedback can spin
@@ -175,6 +186,16 @@ struct RunResult {
   // confirmation echo round. With the layer on, every solve is confirmed;
   // the flag distinguishes robust-confirmed solves in mixed reporting.
   bool confirmed = false;
+  // ---- Adaptive-policy accounting (robust::PolicyKind::kAdaptive; all
+  // zero under the static policy) ----
+  // Echo rounds executed beyond the static confirm_attempts schedule (the
+  // quorum escalation's extra spend-forcing rounds).
+  std::int64_t adaptive_confirm_extra = 0;
+  // Backoff honeypot rounds trimmed relative to the static schedule (the
+  // pause rounds NOT spent because the adversary was not feeding on them).
+  std::int64_t adaptive_backoff_trimmed = 0;
+  // Largest confirmation quorum that was in force during any exchange.
+  std::int32_t confirm_quorum_peak = 0;
   // True iff a protocol raised support::ProtocolAssumptionViolation while
   // faults were active (e.g. a strong-CD protocol observing the
   // "impossible" feedback an erasure produces) and the run was aborted

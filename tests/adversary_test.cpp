@@ -18,6 +18,7 @@
 #include "core/two_active.h"
 #include "mac/channel.h"
 #include "mac/resolver.h"
+#include "robust/robust.h"
 #include "sim/batch_engine.h"
 #include "sim/engine.h"
 #include "sim/node_context.h"
@@ -46,7 +47,7 @@ TEST(AdversarySpecTest, KindNamesRoundTrip) {
   for (const Kind kind :
        {Kind::kNone, Kind::kObliviousRate, Kind::kPrimaryCamper,
         Kind::kGreedyReactive, Kind::kRandomBudgeted, Kind::kScripted,
-        Kind::kPhaseTracking}) {
+        Kind::kPhaseTracking, Kind::kLookahead, Kind::kLearning}) {
     const auto parsed = adversary::ParseAdversaryKind(adversary::ToString(kind));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, kind);
@@ -185,11 +186,13 @@ TEST(BudgetLedgerTest, DriverNeverOverspendsAcross2000Seeds) {
   support::RandomSource meta(0xB0D6E7);
   for (int trial = 0; trial < 2000; ++trial) {
     AdversarySpec spec;
-    const std::int64_t pick = meta.UniformInt(0, 4);
+    const std::int64_t pick = meta.UniformInt(0, 6);
     spec.kind = pick == 0   ? Kind::kPrimaryCamper
                 : pick == 1 ? Kind::kGreedyReactive
                 : pick == 2 ? Kind::kRandomBudgeted
                 : pick == 3 ? Kind::kPhaseTracking
+                : pick == 4 ? Kind::kLookahead
+                : pick == 5 ? Kind::kLearning
                             : Kind::kScripted;
     spec.budget = meta.UniformInt(0, 40);
     spec.per_round_cap = static_cast<std::int32_t>(meta.UniformInt(1, 6));
@@ -370,6 +373,96 @@ TEST(AdversaryEngine, PrimaryCamperHoldsTheSolveChannelWhileBudgetLasts) {
   EXPECT_EQ(r.adv_jams_effective, 7);
 }
 
+// --- lookahead and learning strategies -------------------------------------
+
+// Drives an AdversaryRun by hand through a scripted activity pattern and
+// checks the wrapper-aware strategies' hold/strike decisions round by round.
+struct StrategyHarness {
+  explicit StrategyHarness(Kind kind) : resolver(4) {
+    AdversarySpec spec;
+    spec.kind = kind;
+    spec.budget = 1000;
+    spec.per_round_cap = 3;
+    run = AdversaryRun(spec, /*run_seed=*/0xC0FFEE);
+  }
+
+  // Plans the next round, resolves `actions` under the planned jams, and
+  // feeds the observation back. Returns the planned jam set.
+  std::vector<mac::ChannelId> Step(std::vector<Action> actions) {
+    const auto jams = run.PlanRound(round, /*channels=*/4);
+    const std::vector<mac::ChannelId> planned(jams.begin(), jams.end());
+    std::vector<Feedback> fb;
+    resolver.Resolve(actions, fb, nullptr, planned);
+    run.ObserveRound(resolver, round);
+    ++round;
+    return planned;
+  }
+
+  Resolver resolver;
+  AdversaryRun run;
+  std::int64_t round = 0;
+};
+
+const std::vector<Action> kSilent{Action::Listen(1)};
+
+TEST(AdversaryStrategies, LookaheadStrikesVerdictRoundThenHoldsHoneypots) {
+  StrategyHarness h(Kind::kLookahead);
+  // No observation yet: the opening round is jammed like a verdict round.
+  EXPECT_EQ(h.Step(kSilent), std::vector<mac::ChannelId>{1});
+  // First silent round observed -> lone strike on primary (a robust-layer
+  // verdict/echo round also looks like this; the strike is worth one jam).
+  EXPECT_EQ(h.Step(kSilent), std::vector<mac::ChannelId>{1});
+  // Silence streak >= 2 reads as a backoff honeypot: hold, indefinitely.
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(h.Step(kSilent).empty());
+  EXPECT_EQ(h.run.rounds_held(), 3);
+  EXPECT_EQ(h.run.ledger().spent(), 2);
+  // Activity resumes this round; the plan itself still sees silence (hold),
+  // the strike lands next round once the activity has been observed.
+  EXPECT_TRUE(h.Step({Action::Transmit(1, Message{1}), Action::Transmit(2),
+                      Action::Transmit(2), Action::Transmit(3, Message{3})})
+                  .empty());
+  // Observed sparse activity triggers the endgame strike: primary first,
+  // then side channels sparsest-first (ch3 with 1 tx before ch2 with 2).
+  EXPECT_EQ(
+      h.Step({Action::Transmit(1), Action::Transmit(1), Action::Transmit(1)}),
+      (std::vector<mac::ChannelId>{1, 3, 2}));
+  // The dense primary (3+ tx) just observed reads as broadcast: hold.
+  EXPECT_TRUE(h.Step(kSilent).empty());
+  EXPECT_EQ(h.run.rounds_held(), 5);
+}
+
+TEST(AdversaryStrategies, LearningBanksTheGapAndStopsPayingTheSilenceToll) {
+  StrategyHarness h(Kind::kLearning);
+  EXPECT_EQ(h.Step(kSilent), std::vector<mac::ChannelId>{1});  // opening
+  // Pre-bank, learning behaves exactly like lookahead: strike the first
+  // silent round, hold from the second.
+  EXPECT_EQ(h.Step(kSilent), std::vector<mac::ChannelId>{1});
+  EXPECT_TRUE(h.Step(kSilent).empty());
+  EXPECT_TRUE(h.Step({Action::Transmit(1, Message{9})}).empty());
+  // That completed 3-round silence run, bounded by activity, banks
+  // longest_gap = 3. From now on silence up to 2*3 = 6 rounds is explained
+  // by the learned doubling schedule: no first-round toll, pure hold.
+  EXPECT_EQ(h.Step(kSilent), std::vector<mac::ChannelId>{1});  // endgame
+  const std::int64_t spent_before = h.run.ledger().spent();
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(h.Step(kSilent).empty());
+  EXPECT_EQ(h.run.ledger().spent(), spent_before);
+  // The 7th silent round exceeds the learned cap: silence the schedule
+  // cannot explain reads as a stalled all-listen stage — strike.
+  EXPECT_EQ(h.Step(kSilent), std::vector<mac::ChannelId>{1});
+}
+
+TEST(AdversaryStrategies, HoldAccountingCountsAllowanceRoundsWithoutJams) {
+  // A camper never holds; an exhausted ledger never holds (no allowance).
+  sim::EngineConfig config = OneForeverConfig(20);
+  config.adversary.kind = Kind::kPrimaryCamper;
+  config.adversary.budget = 7;
+  const sim::RunResult camper =
+      sim::Engine::Run(config, [](sim::NodeContext& ctx) {
+        return TransmitPrimaryForever(ctx);
+      });
+  EXPECT_EQ(camper.adv_rounds_held, 0);
+}
+
 // --- determinism and purity ------------------------------------------------
 
 void ExpectIdenticalRuns(const sim::RunResult& a, const sim::RunResult& b) {
@@ -397,6 +490,12 @@ void ExpectIdenticalRuns(const sim::RunResult& a, const sim::RunResult& b) {
   EXPECT_EQ(a.confirm_rounds, b.confirm_rounds);
   EXPECT_EQ(a.backoff_rounds, b.backoff_rounds);
   EXPECT_EQ(a.confirmed, b.confirmed);
+  EXPECT_EQ(a.adv_rounds_held, b.adv_rounds_held);
+  EXPECT_EQ(a.adv_jams_echo, b.adv_jams_echo);
+  EXPECT_EQ(a.adv_jams_backoff, b.adv_jams_backoff);
+  EXPECT_EQ(a.adaptive_confirm_extra, b.adaptive_confirm_extra);
+  EXPECT_EQ(a.adaptive_backoff_trimmed, b.adaptive_backoff_trimmed);
+  EXPECT_EQ(a.confirm_quorum_peak, b.confirm_quorum_peak);
 }
 
 TEST(AdversaryEngine, ScriptedReplayIsDeterministic) {
@@ -562,9 +661,24 @@ TEST(AdversaryParity, TwoActivePhaseTracking2000Seeds) {
   CheckAdversaryParity(config, core::MakeTwoActive(), *program, 2000);
 }
 
+TEST(AdversaryParity, TwoActiveLookahead2000Seeds) {
+  sim::EngineConfig config = TwoActiveConfig(support::RngKind::kXoshiro);
+  config.adversary = StrategySpec(Kind::kLookahead);
+  auto program = sim::MakeTwoActiveProgram();
+  CheckAdversaryParity(config, core::MakeTwoActive(), *program, 2000);
+}
+
+TEST(AdversaryParity, TwoActiveLearning2000Seeds) {
+  sim::EngineConfig config = TwoActiveConfig(support::RngKind::kXoshiro);
+  config.adversary = StrategySpec(Kind::kLearning);
+  auto program = sim::MakeTwoActiveProgram();
+  CheckAdversaryParity(config, core::MakeTwoActive(), *program, 2000);
+}
+
 TEST(AdversaryParity, TwoActiveAllStrategiesPhilox) {
-  for (const Kind kind : {Kind::kPrimaryCamper, Kind::kGreedyReactive,
-                          Kind::kRandomBudgeted, Kind::kPhaseTracking}) {
+  for (const Kind kind :
+       {Kind::kPrimaryCamper, Kind::kGreedyReactive, Kind::kRandomBudgeted,
+        Kind::kPhaseTracking, Kind::kLookahead, Kind::kLearning}) {
     sim::EngineConfig config = TwoActiveConfig(support::RngKind::kPhilox);
     config.adversary = StrategySpec(kind);
     auto program = sim::MakeTwoActiveProgram();
@@ -575,14 +689,79 @@ TEST(AdversaryParity, TwoActiveAllStrategiesPhilox) {
 TEST(AdversaryParity, GeneralAllStrategiesBothRngKinds) {
   for (const support::RngKind rng :
        {support::RngKind::kXoshiro, support::RngKind::kPhilox}) {
-    for (const Kind kind : {Kind::kPrimaryCamper, Kind::kGreedyReactive,
-                            Kind::kRandomBudgeted, Kind::kPhaseTracking}) {
+    for (const Kind kind :
+         {Kind::kPrimaryCamper, Kind::kGreedyReactive, Kind::kRandomBudgeted,
+          Kind::kPhaseTracking, Kind::kLookahead, Kind::kLearning}) {
       sim::EngineConfig config = GeneralConfig(rng);
       config.adversary = StrategySpec(kind);
       auto program = sim::MakeGeneralProgram();
       CheckAdversaryParity(config, core::MakeGeneral(), *program, 150);
     }
   }
+}
+
+// The wrapper-aware strategies only earn their name against the robust
+// layer: these parity suites drive the fabricated backoff/echo rounds (the
+// code paths that split adv_jams into echo/backoff and feed the adaptive
+// estimators) through both engines, static and adaptive policy alike.
+robust::RobustSpec ParityWrapper(robust::PolicyKind policy) {
+  robust::RobustSpec spec;
+  spec.enabled = true;
+  spec.policy = policy;
+  spec.max_epochs = 8;
+  spec.confirm_attempts = 2;
+  return spec;
+}
+
+TEST(AdversaryParity, RobustStaticLookaheadTwoActive) {
+  for (const Kind kind : {Kind::kLookahead, Kind::kLearning}) {
+    sim::EngineConfig config = TwoActiveConfig(support::RngKind::kXoshiro);
+    config.adversary = StrategySpec(kind);
+    config.robust = ParityWrapper(robust::PolicyKind::kStatic);
+    auto program = sim::MakeTwoActiveProgram();
+    CheckAdversaryParity(config, core::MakeTwoActive(), *program, 600);
+  }
+}
+
+TEST(AdversaryParity, RobustAdaptiveAllStrategiesTwoActive) {
+  for (const Kind kind :
+       {Kind::kPrimaryCamper, Kind::kPhaseTracking, Kind::kLookahead,
+        Kind::kLearning}) {
+    sim::EngineConfig config = TwoActiveConfig(support::RngKind::kXoshiro);
+    config.adversary = StrategySpec(kind);
+    config.adversary.budget = 200;  // enough to provoke epoch retries
+    config.robust = ParityWrapper(robust::PolicyKind::kAdaptive);
+    auto program = sim::MakeTwoActiveProgram();
+    CheckAdversaryParity(config, core::MakeTwoActive(), *program, 600);
+  }
+}
+
+TEST(AdversaryParity, RobustAdaptiveLookaheadGeneralBothRngKinds) {
+  for (const support::RngKind rng :
+       {support::RngKind::kXoshiro, support::RngKind::kPhilox}) {
+    for (const Kind kind : {Kind::kLookahead, Kind::kLearning}) {
+      sim::EngineConfig config = GeneralConfig(rng);
+      config.adversary = StrategySpec(kind);
+      config.adversary.budget = 400;
+      config.robust = ParityWrapper(robust::PolicyKind::kAdaptive);
+      auto program = sim::MakeGeneralProgram();
+      CheckAdversaryParity(config, core::MakeGeneral(), *program, 100);
+    }
+  }
+}
+
+TEST(AdversaryParity, RobustAdaptiveLookaheadComposedWithFaults) {
+  // Erasures + flaky CD over the adaptive wrapper and the lookahead
+  // adversary together: the full ISSUE 7 composition, both engines.
+  sim::EngineConfig config = GeneralConfig(support::RngKind::kXoshiro);
+  config.adversary = StrategySpec(Kind::kLookahead);
+  config.adversary.budget = 300;
+  config.robust = ParityWrapper(robust::PolicyKind::kAdaptive);
+  config.faults.erasure_rate = 0.05;
+  config.faults.flaky_cd_rate = 0.02;
+  config.faults.fault_seed = 9;
+  auto program = sim::MakeGeneralProgram();
+  CheckAdversaryParity(config, core::MakeGeneral(), *program, 100);
 }
 
 TEST(AdversaryParity, GeneralActivityObservationGreedy) {

@@ -5,14 +5,23 @@
 // 2. Random protocols through the engine: invariants (feedback validity,
 //    conservation of transmissions, solved definition, determinism) must
 //    hold for arbitrary well-formed behaviour.
+// 3. Random RobustSpec / AdversarySpec configurations through the Validate*
+//    layer: every rejection must be a std::invalid_argument with a
+//    non-empty message (never a crash or a foreign exception type), and
+//    every accepted config must survive a short engine run without
+//    aborting.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "adversary/adversary.h"
+#include "core/two_active.h"
 #include "mac/channel.h"
 #include "mac/resolver.h"
+#include "robust/robust.h"
 #include "sim/engine.h"
 #include "support/rng.h"
 
@@ -172,6 +181,95 @@ TEST(EngineFuzz, ChaoticRunsAreDeterministic) {
     ASSERT_EQ(a.solved_round, b.solved_round);
     ASSERT_EQ(a.MetricValues("messages"), b.MetricValues("messages"));
   }
+}
+
+// --- config-space fuzz: Validate* as the only gate --------------------------
+
+robust::RobustSpec RandomRobustSpec(support::RandomSource& rng) {
+  robust::RobustSpec spec;
+  spec.enabled = rng.UniformInt(0, 3) > 0;  // bias towards enabled
+  spec.policy = rng.UniformInt(0, 1) == 0 ? robust::PolicyKind::kStatic
+                                          : robust::PolicyKind::kAdaptive;
+  spec.max_epochs = static_cast<std::int32_t>(rng.UniformInt(-2, 12));
+  spec.confirm_attempts = static_cast<std::int32_t>(rng.UniformInt(-2, 1200));
+  spec.backoff_base = rng.UniformInt(-2, 12);
+  spec.backoff_cap = rng.UniformInt(-2, 64);
+  spec.epoch_round_budget = rng.UniformInt(-2, 300);
+  spec.stall_round_budget = rng.UniformInt(-2, 300);
+  return spec;
+}
+
+adversary::AdversarySpec RandomAdversarySpec(support::RandomSource& rng,
+                                             std::int32_t channels) {
+  adversary::AdversarySpec spec;
+  const std::int64_t pick = rng.UniformInt(0, 7);
+  using adversary::Kind;
+  spec.kind = pick == 0   ? Kind::kNone
+              : pick == 1 ? Kind::kObliviousRate
+              : pick == 2 ? Kind::kPrimaryCamper
+              : pick == 3 ? Kind::kGreedyReactive
+              : pick == 4 ? Kind::kRandomBudgeted
+              : pick == 5 ? Kind::kPhaseTracking
+              : pick == 6 ? Kind::kLookahead
+                          : Kind::kLearning;
+  if (rng.UniformInt(0, 3) == 0) {
+    spec.rate = static_cast<double>(rng.UniformInt(-1, 12)) / 10.0;
+  }
+  if (rng.UniformInt(0, 1) == 0) spec.budget = rng.UniformInt(-3, 60);
+  spec.per_round_cap = static_cast<std::int32_t>(rng.UniformInt(-1, 6));
+  spec.obs = rng.UniformInt(0, 1) == 0 ? adversary::ObsMode::kFull
+                                       : adversary::ObsMode::kActivity;
+  spec.adv_seed = rng.NextU64();
+  if (rng.UniformInt(0, 7) == 0) {
+    const std::int64_t entries = rng.UniformInt(1, 5);
+    for (std::int64_t e = 0; e < entries; ++e) {
+      spec.script.push_back(
+          {rng.UniformInt(-1, 20),
+           static_cast<mac::ChannelId>(rng.UniformInt(0, channels + 2))});
+    }
+  }
+  return spec;
+}
+
+TEST(ConfigFuzz, ValidateIsTheOnlyGateAndAcceptedConfigsRun) {
+  // 1500 random (RobustSpec, AdversarySpec) pairs. Contract under fuzz:
+  // Validate*/ValidateEngineConfig either throws std::invalid_argument
+  // with a non-empty what() or accepts; no other exception type, no
+  // CRMC_CHECK abort. Accepted configs must then survive a short real run
+  // — the validators, not the engine internals, are the config gate.
+  support::RandomSource rng(0xC0F16);
+  int accepted = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 1500; ++trial) {
+    sim::EngineConfig config;
+    config.population = 64;
+    config.num_active = 2;
+    config.channels = 4;
+    config.max_rounds = 300;
+    config.seed = static_cast<std::uint64_t>(trial);
+    config.robust = RandomRobustSpec(rng);
+    config.adversary = RandomAdversarySpec(rng, config.channels);
+    if (rng.UniformInt(0, 7) == 0) {
+      config.faults.jam_rate = 0.05;  // may conflict with the adversary
+    }
+    bool ok = false;
+    try {
+      sim::ValidateEngineConfig(config);
+      ok = true;
+    } catch (const std::invalid_argument& e) {
+      ASSERT_FALSE(std::string(e.what()).empty()) << "trial=" << trial;
+      ++rejected;
+    }
+    // Anything else (std::logic_error from a CRMC_CHECK, bad_alloc, ...)
+    // propagates and fails the test.
+    if (!ok) continue;
+    ++accepted;
+    const sim::RunResult r = sim::Engine::Run(config, core::MakeTwoActive());
+    ASSERT_GE(r.rounds_executed, 0) << "trial=" << trial;
+  }
+  // The generator must actually exercise both sides of the gate.
+  EXPECT_GT(accepted, 100);
+  EXPECT_GT(rejected, 100);
 }
 
 }  // namespace

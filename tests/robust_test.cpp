@@ -76,8 +76,22 @@ TEST(RobustSpecTest, ValidateRejectsEachConstraintDistinctly) {
   spec.enabled = true;
   spec.backoff_base = 8;
   spec.backoff_cap = 4;
-  EXPECT_NE(ThrownMessage(spec).find("backoff cap must be >= the backoff"),
+  // The message must name both flags (the CLI surfaces it verbatim) and be
+  // distinct from the backoff-base check.
+  EXPECT_NE(ThrownMessage(spec).find(
+                "backoff cap (--backoff-cap) must be >= the backoff base "
+                "(--backoff)"),
             std::string::npos);
+  // A --backoff-cap below even the *default* base of 2 must be rejected the
+  // same way (the historically silent degenerate honeypot schedule).
+  spec = RobustSpec{};
+  spec.enabled = true;
+  spec.backoff_cap = 1;
+  EXPECT_NE(ThrownMessage(spec).find("--backoff-cap"), std::string::npos);
+  spec = RobustSpec{};
+  spec.enabled = false;
+  spec.policy = robust::PolicyKind::kAdaptive;  // tuning without --robust
+  EXPECT_NE(ThrownMessage(spec).find("require --robust"), std::string::npos);
   spec = RobustSpec{};
   spec.enabled = true;
   spec.epoch_round_budget = -1;
@@ -88,6 +102,22 @@ TEST(RobustSpecTest, ValidateRejectsEachConstraintDistinctly) {
   spec.stall_round_budget = -1;
   EXPECT_NE(ThrownMessage(spec).find("stall round budget must be >= 0"),
             std::string::npos);
+}
+
+TEST(RobustSpecTest, PolicyNamesRoundTrip) {
+  for (const robust::PolicyKind policy :
+       {robust::PolicyKind::kStatic, robust::PolicyKind::kAdaptive}) {
+    const auto parsed = robust::ParsePolicyKind(robust::ToString(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(robust::ParsePolicyKind("dynamic").has_value());
+  RobustSpec spec;
+  EXPECT_FALSE(spec.Adaptive());  // off by default, and off when disabled
+  spec.policy = robust::PolicyKind::kAdaptive;
+  EXPECT_FALSE(spec.Adaptive());
+  spec.enabled = true;
+  EXPECT_TRUE(spec.Adaptive());
 }
 
 TEST(RobustSpecTest, EngineConfigValidationCoversRobust) {
@@ -146,6 +176,31 @@ TEST(RobustHelpers, WatchdogBudgetsDeriveOrObeyOverrides) {
             robust::EpochRoundBudget(RobustSpec{}, 1 << 8, 64));
 }
 
+TEST(RobustHelpers, ConfirmQuorumEscalatesWithSuppressionAndClamps) {
+  // No observed suppression: the static floor stands.
+  EXPECT_EQ(robust::ConfirmQuorum(0.0, 1 << 16, 3), 3);
+  EXPECT_EQ(robust::ConfirmQuorum(-0.5, 1 << 16, 3), 3);
+  // confirm_attempts 0 disables the exchange under every estimate.
+  EXPECT_EQ(robust::ConfirmQuorum(0.9, 1 << 16, 0), 0);
+  // The w.h.p. bound: smallest k with p^k <= 1/n. At p = 0.5, n = 2^16
+  // that is exactly 16 attempts.
+  EXPECT_EQ(robust::ConfirmQuorum(0.5, 1 << 16, 3), 16);
+  // Quorum grows monotonically with the suppression estimate...
+  EXPECT_GT(robust::ConfirmQuorum(0.9, 1 << 16, 3),
+            robust::ConfirmQuorum(0.5, 1 << 16, 3));
+  // ...and with the population (more nodes, stronger w.h.p. target).
+  EXPECT_GT(robust::ConfirmQuorum(0.5, 1 << 20, 3),
+            robust::ConfirmQuorum(0.5, 1 << 10, 3));
+  // A certain-suppression estimate clamps at the hard ceiling instead of
+  // demanding infinitely many echoes; tiny populations stay well-defined.
+  EXPECT_EQ(robust::ConfirmQuorum(1.0, 1 << 16, 3), robust::kMaxConfirmQuorum);
+  EXPECT_EQ(robust::ConfirmQuorum(0.999999, 1 << 16, 3),
+            robust::kMaxConfirmQuorum);
+  EXPECT_GE(robust::ConfirmQuorum(0.5, 1, 3), 3);
+  // The floor binds whenever the derived k is smaller.
+  EXPECT_EQ(robust::ConfirmQuorum(0.01, 4, 5), 5);
+}
+
 TEST(RobustHelpers, FindPrimaryWinnerPicksTheLoneTransmitter) {
   std::vector<Action> actions(4);
   EXPECT_EQ(robust::FindPrimaryWinner(actions), -1);
@@ -182,6 +237,12 @@ void ExpectIdenticalRuns(const sim::RunResult& a, const sim::RunResult& b) {
   EXPECT_EQ(a.confirm_rounds, b.confirm_rounds);
   EXPECT_EQ(a.backoff_rounds, b.backoff_rounds);
   EXPECT_EQ(a.confirmed, b.confirmed);
+  EXPECT_EQ(a.adv_rounds_held, b.adv_rounds_held);
+  EXPECT_EQ(a.adv_jams_echo, b.adv_jams_echo);
+  EXPECT_EQ(a.adv_jams_backoff, b.adv_jams_backoff);
+  EXPECT_EQ(a.adaptive_confirm_extra, b.adaptive_confirm_extra);
+  EXPECT_EQ(a.adaptive_backoff_trimmed, b.adaptive_backoff_trimmed);
+  EXPECT_EQ(a.confirm_quorum_peak, b.confirm_quorum_peak);
 }
 
 // Wrapped-vs-unwrapped comparison: the execution must be bit-identical; the
@@ -320,6 +381,127 @@ TEST(RobustEngine, ConfirmAttemptsZeroDisablesTheEchoExchange) {
   EXPECT_EQ(r.solved_round, 7);  // identical to the bare camper run
   EXPECT_EQ(r.confirm_rounds, 0);
   EXPECT_TRUE(r.confirmed);
+}
+
+// --- adaptive policy ---------------------------------------------------------
+
+TEST(RobustAdaptive, PristineAdaptiveRunIsBitIdenticalToStatic) {
+  // Acceptance gate for ISSUE 7: with nothing to adapt to (no suppression,
+  // no retries), --robust-policy adaptive must be bit-identical to the
+  // static wrapper — and therefore to the bare run — on both engines. The
+  // estimators only ever see data once an echo round happens.
+  sim::EngineConfig wrapped;
+  wrapped.population = 1 << 12;
+  wrapped.num_active = 32;
+  wrapped.channels = 16;
+  wrapped.max_rounds = 2000;
+  wrapped.robust.enabled = true;
+  for (const support::RngKind rng :
+       {support::RngKind::kXoshiro, support::RngKind::kPhilox}) {
+    wrapped.rng = rng;
+    sim::EngineConfig adaptive = wrapped;
+    adaptive.robust.policy = robust::PolicyKind::kAdaptive;
+    const auto factory = core::MakeGeneral();
+    auto program = sim::MakeGeneralProgram();
+    sim::BatchEngine engine;
+    for (std::uint64_t seed = 61'000; seed < 61'010; ++seed) {
+      wrapped.seed = seed;
+      adaptive.seed = seed;
+      SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+      const sim::RunResult stat = sim::Engine::Run(wrapped, factory);
+      const sim::RunResult coro = sim::Engine::Run(adaptive, factory);
+      const sim::RunResult batch = engine.Run(adaptive, *program);
+      ExpectIdenticalRuns(stat, coro);
+      ExpectIdenticalRuns(coro, batch);
+      EXPECT_EQ(coro.adaptive_confirm_extra, 0);
+      EXPECT_EQ(coro.adaptive_backoff_trimmed, 0);
+      EXPECT_TRUE(coro.confirmed);
+    }
+  }
+}
+
+TEST(RobustAdaptive, QuorumEscalatesWithinTheExchangeAndDrainsTheJammer) {
+  // One lone transmitter vs a camper with budget 7, adaptive policy. The
+  // first suppressed claim opens an echo exchange whose loop bound is
+  // re-evaluated every round: each jammed echo raises the suppression
+  // estimate, which raises the quorum, which keeps the exchange alive —
+  // the camper must keep paying until it is broke, inside ONE exchange.
+  //   round 0 protocol (jam, 6 left), rounds 1..6 echoes (all jammed, 0
+  //   left), round 7 echo: unjammed, delivers => confirmed, epoch 0.
+  // The static wrapper solves this too (see EchoRoundsForceTheCamper...)
+  // but needs a second protocol candidate; adaptive never lets go.
+  sim::EngineConfig config = OneForeverConfig(40);
+  config.adversary.kind = Kind::kPrimaryCamper;
+  config.adversary.budget = 7;
+  config.robust.enabled = true;
+  config.robust.policy = robust::PolicyKind::kAdaptive;  // floor stays 3
+  const sim::RunResult r = sim::Engine::Run(config, [](sim::NodeContext& ctx) {
+    return TransmitPrimaryForever(ctx);
+  });
+  EXPECT_TRUE(r.solved);
+  EXPECT_TRUE(r.confirmed);
+  EXPECT_EQ(r.solved_round, 7);
+  EXPECT_EQ(r.confirm_rounds, 7);  // one exchange of 7 echoes
+  EXPECT_EQ(r.epochs_used, 1);
+  EXPECT_EQ(r.adv_jams_spent, 7);
+  EXPECT_EQ(r.adv_jams_echo, 6);       // echo strikes (protocol round apart)
+  EXPECT_GT(r.confirm_quorum_peak, 3);  // escalated beyond the floor
+  EXPECT_GT(r.adaptive_confirm_extra, 0);
+  // The watchdog budget was extended per adaptive echo — the exchange must
+  // not have tripped an epoch retry.
+  EXPECT_EQ(r.retries, 0);
+}
+
+TEST(RobustAdaptive, HoneypotTrimsWhenTheAdversaryNeverSpendsOnBackoff) {
+  // Same forced-retry setup as EpochWatchdogForcesDeterministicRetries
+  // (static: backoff pauses 2 then 4 rounds). No adversary ever jams a
+  // backoff round, so from epoch 2 on the adaptive policy trims the
+  // honeypot to a single probe round: pauses 2 then 1, three rounds
+  // reclaimed, same solve.
+  sim::EngineConfig config;
+  config.population = 1024;
+  config.num_active = 64;
+  config.channels = 64;
+  config.max_rounds = 4000;
+  config.seed = 204;
+  config.robust.enabled = true;
+  config.robust.policy = robust::PolicyKind::kAdaptive;
+  config.robust.max_epochs = 3;
+  config.robust.epoch_round_budget = 8;
+  const sim::RunResult coro = sim::Engine::Run(config, core::MakeGeneral());
+  EXPECT_TRUE(coro.solved);
+  EXPECT_TRUE(coro.confirmed);
+  EXPECT_EQ(coro.retries, 2);
+  EXPECT_EQ(coro.backoff_rounds, 3);
+  EXPECT_EQ(coro.adaptive_backoff_trimmed, 3);
+  sim::BatchEngine engine;
+  auto program = sim::MakeGeneralProgram();
+  const sim::RunResult batch = engine.Run(config, *program);
+  ExpectIdenticalRuns(coro, batch);
+}
+
+TEST(RobustAdaptive, HarnessAggregatesAdaptiveAndHoldAccounting) {
+  harness::TrialSpec spec;
+  spec.population = 256;
+  spec.num_active = 1;
+  spec.channels = 4;
+  spec.max_rounds = 200;
+  spec.use_batch_engine = false;  // num_active 1 custom protocol: coroutine
+  spec.adversary.kind = Kind::kPrimaryCamper;
+  spec.adversary.budget = 7;
+  spec.robust.enabled = true;
+  spec.robust.policy = robust::PolicyKind::kAdaptive;
+  const harness::TrialSetResult r = harness::RunTrials(
+      spec,
+      sim::ProtocolFactory([](sim::NodeContext& ctx) {
+        return TransmitPrimaryForever(ctx);
+      }),
+      4);
+  EXPECT_EQ(r.confirmed, 4);
+  EXPECT_EQ(r.adv_jams_echo, 4 * 6);
+  EXPECT_GT(r.confirm_quorum_peak, 3);
+  EXPECT_GT(r.adaptive_confirm_extra, 0);
+  EXPECT_GT(r.rounds_total, 0);
 }
 
 // --- watchdogs and epoch retry ----------------------------------------------

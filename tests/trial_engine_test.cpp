@@ -20,6 +20,7 @@
 #include "core/two_active.h"
 #include "harness/registry.h"
 #include "harness/runner.h"
+#include "robust/robust.h"
 #include "sim/batch_engine.h"
 #include "sim/engine.h"
 #include "sim/step_program.h"
@@ -47,6 +48,17 @@ void ExpectSameResult(const RunResult& want, const RunResult& got,
   EXPECT_EQ(want.crashed_nodes, got.crashed_nodes);
   EXPECT_EQ(want.adv_jams_spent, got.adv_jams_spent);
   EXPECT_EQ(want.adv_jams_effective, got.adv_jams_effective);
+  EXPECT_EQ(want.adv_rounds_held, got.adv_rounds_held);
+  EXPECT_EQ(want.adv_jams_echo, got.adv_jams_echo);
+  EXPECT_EQ(want.adv_jams_backoff, got.adv_jams_backoff);
+  EXPECT_EQ(want.epochs_used, got.epochs_used);
+  EXPECT_EQ(want.retries, got.retries);
+  EXPECT_EQ(want.confirm_rounds, got.confirm_rounds);
+  EXPECT_EQ(want.backoff_rounds, got.backoff_rounds);
+  EXPECT_EQ(want.confirmed, got.confirmed);
+  EXPECT_EQ(want.adaptive_confirm_extra, got.adaptive_confirm_extra);
+  EXPECT_EQ(want.adaptive_backoff_trimmed, got.adaptive_backoff_trimmed);
+  EXPECT_EQ(want.confirm_quorum_peak, got.confirm_quorum_peak);
   EXPECT_EQ(want.stall_rounds, got.stall_rounds);
   EXPECT_EQ(want.wedged, got.wedged);
   EXPECT_EQ(want.assumption_violated, got.assumption_violated);
@@ -249,6 +261,71 @@ TEST(TrialEngineFallback, AdversaryFallsBackPerLane) {
   config.adversary.per_round_cap = 2;
   auto program = MakeTwoActiveProgram();
   CheckTrialParity(config, core::MakeTwoActive(), *program, 300);
+}
+
+TEST(TrialEngineFallback, RobustWrapperFallsBackPerLane) {
+  // --robust + --lanes W: the wrapper's fabricated rounds are outside the
+  // lane-fusible set, so every trial must take the per-lane fallback and
+  // stay bit-exact against lane width 1 (and the coroutine oracle) — for
+  // both policies, with the wrapper-aware adversary in the loop.
+  for (const robust::PolicyKind policy :
+       {robust::PolicyKind::kStatic, robust::PolicyKind::kAdaptive}) {
+    SCOPED_TRACE(robust::ToString(policy));
+    EngineConfig config;
+    config.population = 256;
+    config.num_active = 2;
+    config.channels = 16;
+    config.max_rounds = 4000;
+    config.robust.enabled = true;
+    config.robust.policy = policy;
+    config.robust.max_epochs = 4;
+    config.robust.epoch_round_budget = 64;
+    config.adversary.kind = adversary::Kind::kLookahead;
+    config.adversary.budget = 40;
+    config.adversary.per_round_cap = 2;
+    auto program = MakeTwoActiveProgram();
+    CheckTrialParity(config, core::MakeTwoActive(), *program, 200);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(TrialEngineFallback, RobustLaneWidthInvisibleAtHarnessLevel) {
+  // The harness-level satellite: RunTrials with --robust and lane width 8
+  // must aggregate bit-identically to lane width 1 — confirmations, epoch
+  // bookkeeping, and the adaptive/hold accounting included.
+  harness::TrialSpec spec;
+  spec.population = 256;
+  spec.num_active = 2;
+  spec.channels = 16;
+  spec.max_rounds = 4000;
+  spec.rng = support::RngKind::kPhilox;
+  spec.robust.enabled = true;
+  spec.robust.policy = robust::PolicyKind::kAdaptive;
+  spec.adversary.kind = adversary::Kind::kLearning;
+  spec.adversary.budget = 30;
+  const harness::ProtocolHandle handle(core::MakeTwoActive(),
+                                       [] { return MakeTwoActiveProgram(); });
+  spec.lane_width = 1;
+  const harness::TrialSetResult narrow =
+      harness::RunTrials(spec, handle, 64, false, 2);
+  spec.lane_width = 8;
+  const harness::TrialSetResult wide =
+      harness::RunTrials(spec, handle, 64, false, 3);
+  EXPECT_EQ(narrow.solved_rounds, wide.solved_rounds);
+  EXPECT_EQ(narrow.unsolved, wide.unsolved);
+  EXPECT_EQ(narrow.confirmed, wide.confirmed);
+  EXPECT_EQ(narrow.epochs_used, wide.epochs_used);
+  EXPECT_EQ(narrow.retries, wide.retries);
+  EXPECT_EQ(narrow.confirm_rounds, wide.confirm_rounds);
+  EXPECT_EQ(narrow.backoff_rounds, wide.backoff_rounds);
+  EXPECT_EQ(narrow.adv_jams_spent, wide.adv_jams_spent);
+  EXPECT_EQ(narrow.adv_rounds_held, wide.adv_rounds_held);
+  EXPECT_EQ(narrow.adv_jams_echo, wide.adv_jams_echo);
+  EXPECT_EQ(narrow.adv_jams_backoff, wide.adv_jams_backoff);
+  EXPECT_EQ(narrow.adaptive_confirm_extra, wide.adaptive_confirm_extra);
+  EXPECT_EQ(narrow.adaptive_backoff_trimmed, wide.adaptive_backoff_trimmed);
+  EXPECT_EQ(narrow.confirm_quorum_peak, wide.confirm_quorum_peak);
+  EXPECT_EQ(narrow.rounds_total, wide.rounds_total);
 }
 
 TEST(TrialEngineFallback, ProtocolWithoutTrialProgram) {

@@ -51,19 +51,21 @@ Supports three schemas, dispatched on the artifact's "schema" field:
       group, success_rate must be non-increasing as budget_fraction rises
       (same --monotone-tolerance). --baseline is a usage error here too.
 
-  crmc.bench_robust.v1   confirmed-delivery grid (bench_robust --json):
-      each point runs the same adversary config bare and wrapped in the
-      robust epoch/confirmation layer. Validates both failure breakdowns,
-      the robust accounting (confirmed <= solved, epochs_used ==
-      retries + trials, effective <= spent <= budget * trials), gates the
-      headline delivery floor (wrapped confirmed_rate >= --delivery-floor,
-      default 0.99, on every point) and requires at least one point where
-      the bare protocol fails outright while the wrapper still delivers.
-      Also enforces overhead monotonicity: within each (protocol grid key,
-      strategy, obs, cap) group, round_overhead must be non-decreasing as
-      budget_fraction rises (a drop beyond the relative
-      --monotone-tolerance means the accounting is broken — a stronger
-      jammer cannot make the wrapper cheaper). --baseline is a usage error.
+  crmc.bench_robust.v2   static-vs-adaptive wrapper grid (bench_robust
+      --json): each point runs the same adversary + fault config three
+      ways — bare, under the static robust wrapper, and under the
+      adaptive (self-tuning) wrapper — over shared seeds. Validates all
+      three breakdowns and the per-side robust accounting (confirmed <=
+      solved, epochs_used == retries + trials, echo + backoff jams <=
+      effective <= spent <= budget * trials, exact overhead_vs_static =
+      adaptive.rounds_total / static.rounds_total), then gates the
+      arms-race claims: the ADAPTIVE side must confirm >= --delivery-floor
+      (default 0.99) on every point, fault compositions included; at
+      least one point must pair that with an outright bare failure; and
+      at least one lookahead point must show the static wrapper below the
+      floor while the adaptive wrapper holds it (the witness that the
+      static defense is actually beaten, not merely matched).
+      --baseline is a usage error.
 
 Self-test: check_bench_json.py --self-test runs the validators against
 in-memory good/bad documents; wired into ctest so the checker itself is
@@ -86,9 +88,14 @@ ENGINE_SCHEMAS = (ENGINE_SCHEMA, ENGINE_SCHEMA_V2, ENGINE_SCHEMA_V3)
 TRIAL_SPEEDUP_MAX_ACTIVE = 16
 FAULTS_SCHEMA = "crmc.bench_faults.v1"
 ADVERSARY_SCHEMA = "crmc.bench_adversary.v1"
-ROBUST_SCHEMA = "crmc.bench_robust.v1"
+ROBUST_SCHEMA = "crmc.bench_robust.v2"
 ADVERSARY_STRATEGIES = ("oblivious_rate", "primary_camper", "greedy_reactive",
-                        "random_budgeted", "scripted", "phase_tracking")
+                        "random_budgeted", "scripted", "phase_tracking",
+                        "lookahead", "learning")
+# two_active witness points run the lookahead jammer at multiples of the
+# bare round budget (it holds through honeypots, so fractions above 1.0
+# are where static defense cracks); 16 is a sanity ceiling, not a claim.
+MAX_BUDGET_FRACTION = 16.0
 ADVERSARY_OBS_MODES = ("full", "activity")
 METADATA_KEYS = ("cpu", "compiler", "dispatch", "rng")
 ENGINE_METRICS = ("seconds", "trials_per_sec", "rounds_per_sec",
@@ -361,8 +368,47 @@ def _check_breakdown(side, trials, where):
     return solved
 
 
+def _check_wrapped_side(side, trials, budget, max_epochs, where):
+    """A static or adaptive wrapped side: breakdown + robust + adversary
+    accounting. Returns the side's confirmed_rate."""
+    solved = _check_breakdown(side, trials, where)
+    confirmed = _check_count(side, "confirmed", where)
+    if confirmed > solved:
+        fail(f"{where}: confirmed {confirmed} > solved {solved}")
+    crate = _check_number(side, "confirmed_rate", where, lo=0.0, hi=1.0)
+    if abs(crate - confirmed / trials) > 1e-9:
+        fail(f"{where}: confirmed_rate {crate} != confirmed/trials "
+             f"{confirmed / trials}")
+    epochs = _check_count(side, "epochs_used", where)
+    retries = _check_count(side, "retries", where)
+    if epochs != retries + trials:
+        fail(f"{where}: epochs_used {epochs} != retries {retries} + "
+             f"trials {trials} (each trial runs retries + 1 epochs)")
+    if retries > (max_epochs - 1) * trials:
+        fail(f"{where}: retries {retries} exceeds (max_epochs - 1) * trials")
+    _check_count(side, "confirm_rounds", where)
+    _check_count(side, "backoff_rounds", where)
+    _check_positive_int(side, "rounds_total", where)
+    spent = _check_count(side, "adv_jams_spent", where)
+    effective = _check_count(side, "adv_jams_effective", where)
+    if effective > spent:
+        fail(f"{where}: adv_jams_effective {effective} > "
+             f"adv_jams_spent {spent}")
+    if spent > budget * trials:
+        fail(f"{where}: adv_jams_spent {spent} exceeds the aggregate "
+             f"budget {budget} * {trials} trials")
+    _check_count(side, "adv_rounds_held", where)
+    echo = _check_count(side, "adv_jams_echo", where)
+    backoff = _check_count(side, "adv_jams_backoff", where)
+    if echo + backoff > spent:
+        fail(f"{where}: adv_jams_echo {echo} + adv_jams_backoff {backoff} "
+             f"exceeds adv_jams_spent {spent}")
+    _check_number(side, "mean_solved_rounds", where, lo=0)
+    return crate
+
+
 def validate_robust(doc, path):
-    """Checks the crmc.bench_robust.v1 schema; returns the points list."""
+    """Checks the crmc.bench_robust.v2 schema; returns the points list."""
     points = _check_points_container(doc, path)
     for i, p in enumerate(points):
         where = f"{path}: points[{i}]"
@@ -388,8 +434,16 @@ def validate_robust(doc, path):
                  f"{ADVERSARY_OBS_MODES}")
         budget = _check_count(adv, "budget", f"{where}: adversary")
         _check_number(adv, "budget_fraction", f"{where}: adversary",
-                      lo=0.0, hi=1.0)
+                      lo=0.0, hi=MAX_BUDGET_FRACTION)
         _check_positive_int(adv, "per_round_cap", f"{where}: adversary")
+        faults = p.get("faults")
+        if not isinstance(faults, dict):
+            fail(f"{where}: 'faults' must be an object")
+        if not isinstance(faults.get("name"), str) or not faults["name"]:
+            fail(f"{where}: faults.name must be a non-empty string")
+        for key in ("erasure_rate", "flaky_cd_rate"):
+            _check_number(faults, key, f"{where}: faults", lo=0.0, hi=1.0)
+        _check_count(faults, "fault_seed", f"{where}: faults")
         rob = p.get("robust")
         if not isinstance(rob, dict):
             fail(f"{where}: 'robust' must be an object")
@@ -404,91 +458,67 @@ def validate_robust(doc, path):
         if not isinstance(bare, dict):
             fail(f"{where}: 'bare' must be an object")
         _check_breakdown(bare, trials, f"{where}: bare")
-        wrapped = p.get("wrapped")
-        if not isinstance(wrapped, dict):
-            fail(f"{where}: 'wrapped' must be an object")
-        solved = _check_breakdown(wrapped, trials, f"{where}: wrapped")
-        confirmed = _check_count(wrapped, "confirmed", f"{where}: wrapped")
-        if confirmed > solved:
-            fail(f"{where}: wrapped confirmed {confirmed} > solved {solved}")
-        crate = _check_number(wrapped, "confirmed_rate", f"{where}: wrapped",
-                              lo=0.0, hi=1.0)
-        if abs(crate - confirmed / trials) > 1e-9:
-            fail(f"{where}: confirmed_rate {crate} != confirmed/trials "
-                 f"{confirmed / trials}")
-        epochs = _check_count(wrapped, "epochs_used", f"{where}: wrapped")
-        retries = _check_count(wrapped, "retries", f"{where}: wrapped")
-        if epochs != retries + trials:
-            fail(f"{where}: epochs_used {epochs} != retries {retries} + "
-                 f"trials {trials} (each trial runs retries + 1 epochs)")
-        if retries > (rob["max_epochs"] - 1) * trials:
-            fail(f"{where}: retries {retries} exceeds "
-                 f"(max_epochs - 1) * trials")
-        _check_count(wrapped, "confirm_rounds", f"{where}: wrapped")
-        _check_count(wrapped, "backoff_rounds", f"{where}: wrapped")
-        spent = _check_count(wrapped, "adv_jams_spent", f"{where}: wrapped")
-        effective = _check_count(wrapped, "adv_jams_effective",
-                                 f"{where}: wrapped")
-        if effective > spent:
-            fail(f"{where}: adv_jams_effective {effective} > "
-                 f"adv_jams_spent {spent}")
-        if spent > budget * trials:
-            fail(f"{where}: adv_jams_spent {spent} exceeds the aggregate "
-                 f"budget {budget} * {trials} trials")
-        _check_number(wrapped, "mean_solved_rounds", f"{where}: wrapped", lo=0)
-        _check_number(wrapped, "round_overhead", f"{where}: wrapped", lo=0)
+        for side_name in ("static", "adaptive"):
+            side = p.get(side_name)
+            if not isinstance(side, dict):
+                fail(f"{where}: '{side_name}' must be an object")
+            _check_wrapped_side(side, trials, budget, rob["max_epochs"],
+                                f"{where}: {side_name}")
+        adaptive = p["adaptive"]
+        _check_count(adaptive, "adaptive_confirm_extra", f"{where}: adaptive")
+        _check_count(adaptive, "adaptive_backoff_trimmed",
+                     f"{where}: adaptive")
+        _check_count(adaptive, "confirm_quorum_peak", f"{where}: adaptive")
+        # The overhead ratio must be exact arithmetic over the committed
+        # totals, not a hand-edited summary number.
+        overhead = _check_number(p, "overhead_vs_static", where, lo=0.0)
+        expected = adaptive["rounds_total"] / p["static"]["rounds_total"]
+        if abs(overhead - expected) > 1e-9 * max(1.0, expected):
+            fail(f"{where}: overhead_vs_static {overhead} != "
+                 f"adaptive.rounds_total / static.rounds_total {expected}")
     return points
 
 
 def check_delivery_floor(points, floor):
-    """Every wrapped point must confirm at least `floor` of its trials;
-    at least one point must pair that with an outright bare failure (the
-    headline claim: the wrapper delivers where the bare protocol cannot)."""
+    """Every point's ADAPTIVE side must confirm at least `floor` of its
+    trials — fault compositions and lookahead jamming included; at least
+    one point must pair that with an outright bare failure (the headline
+    claim: the adaptive wrapper delivers where the bare protocol cannot)."""
     headline = 0
     for p in points:
-        crate = p["wrapped"]["confirmed_rate"]
+        crate = p["adaptive"]["confirmed_rate"]
         if crate < floor:
             a = p["adversary"]
             fail(f"{p['protocol']} {a['strategy']} budget_fraction "
-                 f"{a['budget_fraction']}: wrapped confirmed_rate "
-                 f"{crate:.3f} below the delivery floor {floor}")
+                 f"{a['budget_fraction']} faults {p['faults']['name']}: "
+                 f"adaptive confirmed_rate {crate:.3f} below the delivery "
+                 f"floor {floor}")
         if p["bare"]["success_rate"] == 0.0 and crate >= floor:
             headline += 1
     if headline == 0:
-        fail(f"no point has bare success_rate 0 with wrapped confirmed_rate "
-             f">= {floor}; the artifact does not witness the headline claim")
+        fail(f"no point has bare success_rate 0 with adaptive "
+             f"confirmed_rate >= {floor}; the artifact does not witness "
+             f"the headline claim")
     return headline
 
 
-def check_overhead_monotonicity(points, tolerance):
-    """round_overhead must not fall as budget_fraction rises, all else equal.
-
-    A jammer with strictly more budget forces at least as many epochs and
-    backoff honeypot rounds, so the wrapped/pristine round ratio can only
-    grow. `tolerance` is relative (overheads span orders of magnitude)."""
-    groups = {}
+def check_lookahead_witness(points, floor):
+    """At least one lookahead point must show the static wrapper below the
+    delivery floor while the adaptive wrapper holds it. Without such a
+    witness the artifact only shows the two policies tying — not that the
+    lookahead adversary actually beats a static defense."""
+    witnesses = 0
     for p in points:
-        a = p["adversary"]
-        key = (tuple(p[k] for k in POINT_KEYS), p["wrapped_max_rounds"],
-               a["strategy"], a["obs"], a["per_round_cap"])
-        groups.setdefault(key, []).append(p)
-    checked = 0
-    for key, group in groups.items():
-        group.sort(key=lambda p: p["adversary"]["budget_fraction"])
-        for prev, cur in zip(group, group[1:]):
-            checked += 1
-            if cur["wrapped"]["round_overhead"] < \
-                    prev["wrapped"]["round_overhead"] * (1.0 - tolerance):
-                fail(f"{cur['protocol']} {cur['adversary']['strategy']}: "
-                     f"round_overhead fell from "
-                     f"{prev['wrapped']['round_overhead']:.2f} "
-                     f"(budget_fraction "
-                     f"{prev['adversary']['budget_fraction']}) to "
-                     f"{cur['wrapped']['round_overhead']:.2f} "
-                     f"(budget_fraction "
-                     f"{cur['adversary']['budget_fraction']}), tolerance "
-                     f"{tolerance}")
-    return checked
+        if p["adversary"]["strategy"] != "lookahead":
+            continue
+        if p["static"]["confirmed_rate"] < floor and \
+                p["adaptive"]["confirmed_rate"] >= floor:
+            witnesses += 1
+    if witnesses == 0:
+        fail(f"no lookahead point has static confirmed_rate < {floor} with "
+             f"adaptive confirmed_rate >= {floor}; the artifact does not "
+             f"witness the static wrapper being beaten")
+    return witnesses
 
 
 def check_budget_monotonicity(points, tolerance):
@@ -664,12 +694,14 @@ def run_checks(args):
                   file=sys.stderr)
             sys.exit(2)
         points = validate_robust(doc, args.artifact)
-        print(f"{args.artifact}: schema ok, {len(points)} robust points")
+        print(f"{args.artifact}: schema ok, {len(points)} robust points "
+              f"(overhead accounting exact on all)")
         headline = check_delivery_floor(points, args.delivery_floor)
-        print(f"delivery floor {args.delivery_floor} holds on every wrapped "
-              f"point; {headline} points witness bare-fails/wrapped-delivers")
-        checked = check_overhead_monotonicity(points, args.monotone_tolerance)
-        print(f"overhead monotonicity ok across {checked} adjacent pairs")
+        print(f"delivery floor {args.delivery_floor} holds on every adaptive "
+              f"point; {headline} points witness bare-fails/adaptive-delivers")
+        witnesses = check_lookahead_witness(points, args.delivery_floor)
+        print(f"{witnesses} lookahead points witness static-loses/"
+              f"adaptive-holds")
     else:
         fail(f"{args.artifact}: schema is {schema!r}, expected "
              f"{ENGINE_SCHEMA!r}, {ENGINE_SCHEMA_V2!r}, {ENGINE_SCHEMA_V3!r}, "
@@ -734,38 +766,52 @@ def _adversary_point(strategy="primary_camper", fraction=0.0, success=1.0,
     return p
 
 
+def _wrapped_side(rate, trials, budget, retries, rounds_total):
+    ok = round(rate * trials)
+    return {
+        "solved": ok, "unsolved": trials - ok, "timed_out": trials - ok,
+        "aborted": 0, "wedged": 0, "silent_failures": 0,
+        "success_rate": ok / trials,
+        "confirmed": ok, "confirmed_rate": ok / trials,
+        "mean_solved_rounds": 10.0,
+        "epochs_used": retries + trials, "retries": retries,
+        "confirm_rounds": 3 * trials, "backoff_rounds": 2 * trials,
+        "rounds_total": rounds_total,
+        "adv_jams_spent": min(budget, 5) * trials,
+        "adv_jams_effective": min(budget, 4) * trials,
+        "adv_rounds_held": trials,
+        "adv_jams_echo": min(budget, 3) * trials,
+        "adv_jams_backoff": min(budget, 1) * trials,
+    }
+
+
 def _robust_point(strategy="primary_camper", fraction=0.0, bare_success=1.0,
-                  confirmed_rate=1.0, overhead=None, trials=100,
+                  static_rate=1.0, adaptive_rate=1.0, trials=100,
                   retries=0, **overrides):
     bare_solved = round(bare_success * trials)
-    confirmed = round(confirmed_rate * trials)
     budget = round(fraction * 2000 * 2)
-    if overhead is None:
-        overhead = 1.0 + fraction * 10.0
+    static_side = _wrapped_side(static_rate, trials, budget, retries, 1000)
+    adaptive_side = _wrapped_side(adaptive_rate, trials, budget, retries, 800)
+    adaptive_side.update({"adaptive_confirm_extra": 5 * trials,
+                          "adaptive_backoff_trimmed": trials,
+                          "confirm_quorum_peak": 12})
     p = {
         "protocol": "general", "population": 4096, "num_active": 256,
         "channels": 32, "bare_max_rounds": 2000, "wrapped_max_rounds": 32000,
         "trials": trials,
         "adversary": {"strategy": strategy, "obs": "full", "budget": budget,
                       "budget_fraction": fraction, "per_round_cap": 2},
+        "faults": {"name": "none", "erasure_rate": 0.0, "flaky_cd_rate": 0.0,
+                   "fault_seed": 0},
         "robust": {"max_epochs": 32, "confirm_attempts": 3,
                    "backoff_base": 2, "backoff_cap": 1024},
         "bare": {"solved": bare_solved, "unsolved": trials - bare_solved,
                  "timed_out": 0, "aborted": 0, "wedged": 0,
                  "silent_failures": trials - bare_solved,
                  "success_rate": bare_solved / trials},
-        "wrapped": {"solved": confirmed, "unsolved": trials - confirmed,
-                    "timed_out": trials - confirmed, "aborted": 0,
-                    "wedged": 0, "silent_failures": 0,
-                    "success_rate": confirmed / trials,
-                    "confirmed": confirmed,
-                    "confirmed_rate": confirmed / trials,
-                    "mean_solved_rounds": 10.0 * overhead,
-                    "round_overhead": overhead,
-                    "epochs_used": retries + trials, "retries": retries,
-                    "confirm_rounds": 0, "backoff_rounds": 0,
-                    "adv_jams_spent": min(budget, 5) * trials,
-                    "adv_jams_effective": 0},
+        "static": static_side,
+        "adaptive": adaptive_side,
+        "overhead_vs_static": 800 / 1000,
     }
     for key, value in overrides.items():
         if isinstance(value, dict) and isinstance(p.get(key), dict):
@@ -908,29 +954,35 @@ def self_test():
     robust_doc = {
         "schema": ROBUST_SCHEMA,
         "points": [
-            _robust_point(fraction=0.0, bare_success=1.0, overhead=1.0),
-            _robust_point(fraction=0.25, bare_success=0.0, overhead=4.0,
-                          retries=120),
+            _robust_point(fraction=0.0, bare_success=1.0),
+            _robust_point(fraction=0.25, bare_success=0.0, retries=120),
             _robust_point(strategy="phase_tracking", fraction=0.25,
-                          bare_success=0.0, overhead=3.5, retries=90),
-            _robust_point(fraction=1.0, bare_success=0.0, overhead=20.0,
-                          retries=400),
+                          bare_success=0.0, retries=90),
+            # The arms-race witness: lookahead beats static, adaptive holds.
+            _robust_point(strategy="lookahead", fraction=1.0,
+                          bare_success=0.0, static_rate=0.4, retries=400),
+            _robust_point(strategy="lookahead", fraction=1.0,
+                          bare_success=0.0, static_rate=0.4, retries=400,
+                          faults={"name": "erasure_flaky",
+                                  "erasure_rate": 0.1,
+                                  "flaky_cd_rate": 0.05, "fault_seed": 7}),
         ],
     }
     robust_floor_breach = {
         "schema": ROBUST_SCHEMA,
-        "points": [_robust_point(fraction=1.0, bare_success=0.0,
-                                 confirmed_rate=0.9, retries=400)],
+        "points": [_robust_point(strategy="lookahead", fraction=1.0,
+                                 bare_success=0.0, static_rate=0.4,
+                                 adaptive_rate=0.9, retries=400)],
     }
     robust_no_headline = {
         "schema": ROBUST_SCHEMA,
         "points": [_robust_point(fraction=0.0, bare_success=1.0)],
     }
-    robust_overhead_drop = [
-        _robust_point(fraction=0.25, bare_success=0.0, overhead=8.0,
-                      retries=100),
-        _robust_point(fraction=1.0, bare_success=0.0, overhead=2.0,
-                      retries=100),
+    # Both policies hold everywhere: nothing shows static actually beaten.
+    robust_no_witness = [
+        _robust_point(fraction=0.0, bare_success=1.0),
+        _robust_point(strategy="lookahead", fraction=1.0, bare_success=0.0,
+                      retries=400),
     ]
     robust_bad_breakdown = {
         "schema": ROBUST_SCHEMA,
@@ -938,12 +990,21 @@ def self_test():
     }
     robust_bad_confirmed = {
         "schema": ROBUST_SCHEMA,
-        "points": [_robust_point(wrapped={"confirmed": 150,
-                                          "confirmed_rate": 1.5})],
+        "points": [_robust_point(static={"confirmed": 150,
+                                         "confirmed_rate": 1.5})],
     }
     robust_bad_epochs = {
         "schema": ROBUST_SCHEMA,
-        "points": [_robust_point(retries=5, wrapped={"epochs_used": 100})],
+        "points": [_robust_point(retries=5, adaptive={"epochs_used": 100})],
+    }
+    robust_bad_overhead = {
+        "schema": ROBUST_SCHEMA,
+        "points": [_robust_point(overhead_vs_static=3.0)],
+    }
+    robust_jam_books_cooked = {
+        "schema": ROBUST_SCHEMA,
+        "points": [_robust_point(fraction=1.0, bare_success=0.0, retries=400,
+                                 static={"adv_jams_echo": 999999})],
     }
     checks = [
         _expect_ok("engine schema accepts a valid doc",
@@ -1064,25 +1125,25 @@ def self_test():
         _expect_fail("adversary schema rejects effective > spent",
                      lambda: validate_adversary(adv_bad_effective, "mem"),
                      "adv_jams_effective"),
-        _expect_ok("robust schema accepts a valid doc (incl. phase_tracking)",
+        _expect_ok("robust v2 schema accepts a valid doc (incl. lookahead "
+                   "and fault compositions)",
                    lambda: validate_robust(robust_doc, "mem")),
-        _expect_ok("delivery floor passes with a bare-fails witness",
+        _expect_ok("delivery floor passes on the adaptive side",
                    lambda: check_delivery_floor(robust_doc["points"], 0.99)),
-        _expect_fail("delivery floor rejects an under-floor wrapped point",
+        _expect_fail("delivery floor rejects an under-floor adaptive point",
                      lambda: check_delivery_floor(
                          robust_floor_breach["points"], 0.99),
                      "below the delivery floor"),
-        _expect_fail("delivery floor demands a bare-fails witness point",
+        _expect_fail("delivery floor demands a bare-fails headline point",
                      lambda: check_delivery_floor(
                          robust_no_headline["points"], 0.99),
                      "headline"),
-        _expect_ok("overhead monotone check accepts a rising curve",
-                   lambda: check_overhead_monotonicity(
-                       robust_doc["points"], 0.05)),
-        _expect_fail("overhead monotone check rejects a falling curve",
-                     lambda: check_overhead_monotonicity(
-                         robust_overhead_drop, 0.05),
-                     "round_overhead fell"),
+        _expect_ok("lookahead witness accepts static-loses/adaptive-holds",
+                   lambda: check_lookahead_witness(robust_doc["points"],
+                                                   0.99)),
+        _expect_fail("lookahead witness rejects an all-ties grid",
+                     lambda: check_lookahead_witness(robust_no_witness, 0.99),
+                     "witness the static wrapper being beaten"),
         _expect_fail("robust schema rejects a broken bare breakdown",
                      lambda: validate_robust(robust_bad_breakdown, "mem"),
                      "!= unsolved"),
@@ -1092,6 +1153,12 @@ def self_test():
         _expect_fail("robust schema rejects broken epoch accounting",
                      lambda: validate_robust(robust_bad_epochs, "mem"),
                      "epochs_used"),
+        _expect_fail("robust schema rejects a cooked overhead ratio",
+                     lambda: validate_robust(robust_bad_overhead, "mem"),
+                     "overhead_vs_static"),
+        _expect_fail("robust schema rejects echo+backoff jams beyond spent",
+                     lambda: validate_robust(robust_jam_books_cooked, "mem"),
+                     "adv_jams_echo"),
     ]
     if not all(checks):
         print("check_bench_json: self-test FAILED", file=sys.stderr)

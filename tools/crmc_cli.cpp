@@ -63,7 +63,7 @@ using namespace crmc;
       "adversary flags (run/race/sweep — budgeted reactive jamming):\n"
       "              --adversary none|oblivious_rate|primary_camper|\n"
       "                          greedy_reactive|random_budgeted|\n"
-      "                          phase_tracking\n"
+      "                          phase_tracking|lookahead|learning\n"
       "              --adversary-budget B (total channel-rounds)\n"
       "              --adversary-cap K    (max channels jammed per round)\n"
       "              --adversary-obs activity|full (eavesdropping strength)\n"
@@ -71,6 +71,8 @@ using namespace crmc;
       "              --adversary-seed S   (selects the jamming schedule)\n"
       "robust flags (run/race/sweep — confirmed-delivery wrapper):\n"
       "              --robust             (enable the robust layer)\n"
+      "              --robust-policy static|adaptive (self-tuning quorum\n"
+      "                          and honeypot sizing; default static)\n"
       "              --max-epochs E       (protocol restarts, default 8)\n"
       "              --confirm-attempts A (echo rounds per candidate)\n"
       "              --backoff B          (backoff base, idle rounds)\n"
@@ -144,7 +146,7 @@ adversary::AdversarySpec ParseAdversaryFlags(const harness::Flags& flags) {
   if (!kind || *kind == adversary::Kind::kScripted) {
     Usage("unknown adversary '" + name +
           "' (none|oblivious_rate|primary_camper|greedy_reactive|"
-          "random_budgeted|phase_tracking)");
+          "random_budgeted|phase_tracking|lookahead|learning)");
   }
   spec.kind = *kind;
   spec.rate = flags.GetDoubleOr("adversary-rate", 0.0);
@@ -166,6 +168,16 @@ adversary::AdversarySpec ParseAdversaryFlags(const harness::Flags& flags) {
 robust::RobustSpec ParseRobustFlags(const harness::Flags& flags) {
   robust::RobustSpec spec;
   spec.enabled = flags.GetBoolOr("robust", false);
+  if (const std::optional<std::string> policy =
+          flags.GetString("robust-policy")) {
+    const std::optional<robust::PolicyKind> kind =
+        robust::ParsePolicyKind(*policy);
+    if (!kind) {
+      Usage("unknown robust policy '" + *policy +
+            "' (expected static|adaptive)");
+    }
+    spec.policy = *kind;
+  }
   spec.max_epochs =
       static_cast<std::int32_t>(flags.GetIntOr("max-epochs", spec.max_epochs));
   spec.confirm_attempts = static_cast<std::int32_t>(
@@ -261,13 +273,21 @@ int CmdRun(const harness::Flags& flags) {
     std::cout << "adversary " << adversary::ToString(config.adversary.kind)
               << ": spent " << r.adv_jams_spent << "/"
               << config.adversary.budget << " jams, " << r.adv_jams_effective
-              << " suppressed a lone delivery\n";
+              << " suppressed a lone delivery, held " << r.adv_rounds_held
+              << " rounds (echo jams " << r.adv_jams_echo << ", backoff jams "
+              << r.adv_jams_backoff << ")\n";
   }
   if (config.robust.enabled) {
     std::cout << "robust: " << (r.confirmed ? "confirmed" : "UNCONFIRMED")
               << ", epochs " << r.epochs_used << " (retries " << r.retries
               << "), confirm rounds " << r.confirm_rounds
               << ", backoff rounds " << r.backoff_rounds << "\n";
+    if (config.robust.Adaptive()) {
+      std::cout << "adaptive policy: quorum peak " << r.confirm_quorum_peak
+                << ", extra echoes " << r.adaptive_confirm_extra
+                << ", honeypot rounds trimmed " << r.adaptive_backoff_trimmed
+                << "\n";
+    }
   }
   for (const char* phase : {"reduce_done", "rename_done", "elect_done"}) {
     const std::int64_t mark = r.LastPhaseMark(phase);
